@@ -1,0 +1,109 @@
+// E2 (Table I) — Domain-specialized vs pooled general models.
+//
+// Claim (§II-A): "Using only general models for all users can lead to
+// severe mismatches" — the word "bus" means different things in different
+// domains, so one pooled model at the same capacity must lose accuracy,
+// and the loss concentrates on polysemous words.
+//
+// Output: cross-domain token-accuracy matrix (codec trained on row-domain,
+// evaluated on column-domain), a pooled-model row, and a polysemy
+// breakdown (accuracy on polysemous vs exclusive positions).
+#include "bench_util.hpp"
+#include "metrics/stats.hpp"
+
+using namespace semcache;
+
+namespace {
+
+struct Breakdown {
+  double overall = 0.0;
+  double polysemous = 0.0;
+  double exclusive = 0.0;
+};
+
+Breakdown evaluate_breakdown(semantic::SemanticCodec& codec,
+                             const text::World& world, std::size_t domain,
+                             std::size_t sentences, Rng& rng) {
+  metrics::OnlineStats all, poly, excl;
+  for (std::size_t i = 0; i < sentences; ++i) {
+    const auto msg = world.sample_sentence(domain, rng);
+    const auto decoded = codec.reconstruct(msg.surface);
+    for (std::size_t p = 0; p < msg.meanings.size(); ++p) {
+      const bool hit = decoded[p] == msg.meanings[p];
+      all.add(hit ? 1.0 : 0.0);
+      const auto& meaning = world.meaning(msg.meanings[p]);
+      if (meaning.domain == text::World::kSharedDomain) continue;
+      // Polysemous = this domain lists the meaning among its shared-surface
+      // senses.
+      const auto& poly_ids = world.polysemous_meanings(domain);
+      const bool is_poly = std::find(poly_ids.begin(), poly_ids.end(),
+                                     msg.meanings[p]) != poly_ids.end();
+      (is_poly ? poly : excl).add(hit ? 1.0 : 0.0);
+    }
+  }
+  return {all.mean(), poly.mean(), excl.mean()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Rng rng(1101);
+  const std::size_t kDomains = 4;
+  text::World world =
+      text::World::generate(bench::standard_world(kDomains), rng);
+  const auto cc = bench::standard_codec(world, 1);
+  const std::size_t kSteps = 6000;
+
+  // Specialized codecs.
+  std::vector<std::unique_ptr<semantic::SemanticCodec>> specialized;
+  for (std::size_t d = 0; d < kDomains; ++d) {
+    specialized.push_back(
+        bench::train_domain_codec(world, d, cc, kSteps, 0.0, 100 + d));
+  }
+  // Pooled general model: same capacity, same total steps per domain share.
+  Rng pooled_init(200);
+  semantic::SemanticCodec pooled(cc, pooled_init);
+  semantic::TrainConfig tc;
+  tc.steps = kSteps;  // same budget as each specialist
+  Rng pooled_rng(201);
+  semantic::CodecTrainer::pretrain_pooled(pooled, world, tc, pooled_rng);
+
+  metrics::Table cross("E2/TableI — cross-domain token accuracy",
+                       {"model\\eval", "it", "medical", "news",
+                        "entertainment"});
+  for (std::size_t m = 0; m < kDomains; ++m) {
+    std::vector<std::string> row = {"kb_" + world.domain_name(m)};
+    for (std::size_t d = 0; d < kDomains; ++d) {
+      Rng erng(300 + m * 10 + d);
+      row.push_back(metrics::Table::num(
+          evaluate_breakdown(*specialized[m], world, d, 200, erng).overall));
+    }
+    cross.add_row(row);
+  }
+  std::vector<std::string> pooled_row = {"pooled_general"};
+  for (std::size_t d = 0; d < kDomains; ++d) {
+    Rng erng(400 + d);
+    pooled_row.push_back(metrics::Table::num(
+        evaluate_breakdown(pooled, world, d, 200, erng).overall));
+  }
+  cross.add_row(pooled_row);
+  bench::emit(cross, argc, argv);
+
+  metrics::Table poly(
+      "E2/TableI-b — where the pooled model loses: polysemous senses",
+      {"model", "overall", "polysemous_words", "exclusive_words"});
+  {
+    Rng erng(500);
+    const auto spec = evaluate_breakdown(*specialized[0], world, 0, 300, erng);
+    Rng erng2(500);
+    const auto pool = evaluate_breakdown(pooled, world, 0, 300, erng2);
+    poly.add_row({"specialized(it)", metrics::Table::num(spec.overall),
+                  metrics::Table::num(spec.polysemous),
+                  metrics::Table::num(spec.exclusive)});
+    poly.add_row({"pooled_general", metrics::Table::num(pool.overall),
+                  metrics::Table::num(pool.polysemous),
+                  metrics::Table::num(pool.exclusive)});
+  }
+  bench::emit(poly, argc, argv);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// E4 (Table II) — Decoder copy on the sender edge.
+//
+// Claim (§II-C): computing encoder/decoder mismatch needs both input and
+// output; "sending the output back to the sender would defeat the purpose
+// of the semantic communication system". Caching decoder COPIES at the
+// sender makes mismatch calculation free of network traffic.
+//
+// Two identical systems, decoder copy on/off, same idiolect workload.
+// Table: per-message and cumulative bytes for mismatch calculation, plus
+// gradient-sync bytes (which both variants pay).
+#include "bench_util.hpp"
+#include "core/system.hpp"
+
+using namespace semcache;
+
+namespace {
+
+core::SystemConfig system_config(bool decoder_copy) {
+  core::SystemConfig config;
+  config.seed = 1401;
+  config.world = bench::standard_world(2);
+  config.codec.embed_dim = 20;
+  config.codec.feature_dim = 16;
+  config.codec.hidden_dim = 48;
+  config.pretrain.steps = 5000;
+  config.feature_bits = 3;
+  config.oracle_selection = true;
+  config.buffer_trigger = 20;
+  config.decoder_copy_enabled = decoder_copy;
+  return config;
+}
+
+struct RunStats {
+  std::uint64_t feature_bytes = 0;
+  std::uint64_t output_return_bytes = 0;
+  std::uint64_t sync_bytes = 0;
+  std::size_t updates = 0;
+  std::size_t messages = 0;
+};
+
+RunStats run(bool decoder_copy, std::size_t messages) {
+  auto system = core::SemanticEdgeSystem::build(system_config(decoder_copy));
+  text::IdiolectConfig idio;
+  idio.substitution_rate = 0.5;
+  system->register_user("user", 0, &idio);
+  system->register_user("peer", 1, nullptr);
+  for (std::size_t i = 0; i < messages; ++i) {
+    system->transmit("user", "peer", system->sample_message("user", 0));
+  }
+  const auto& s = system->stats();
+  return {s.feature_bytes, s.output_return_bytes, s.sync_bytes, s.updates,
+          s.messages};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t kMessages = 120;
+  const RunStats with_copy = run(true, kMessages);
+  const RunStats without = run(false, kMessages);
+
+  metrics::Table table(
+      "E4/TableII — mismatch-calculation cost: decoder copy vs output return",
+      {"variant", "feature_bytes", "mismatch_extra_bytes",
+       "extra_bytes/msg", "sync_bytes", "updates"});
+  table.add_row({"decoder_copy (paper)",
+                 std::to_string(with_copy.feature_bytes),
+                 std::to_string(with_copy.output_return_bytes),
+                 metrics::Table::num(
+                     static_cast<double>(with_copy.output_return_bytes) /
+                     static_cast<double>(kMessages), 2),
+                 std::to_string(with_copy.sync_bytes),
+                 std::to_string(with_copy.updates)});
+  table.add_row({"output_return (ablation)",
+                 std::to_string(without.feature_bytes),
+                 std::to_string(without.output_return_bytes),
+                 metrics::Table::num(
+                     static_cast<double>(without.output_return_bytes) /
+                     static_cast<double>(kMessages), 2),
+                 std::to_string(without.sync_bytes),
+                 std::to_string(without.updates)});
+  bench::emit(table, argc, argv);
+
+  metrics::Table overhead("E4/TableII-b — output-return overhead vs payload",
+                          {"metric", "value"});
+  const double payload_pm = static_cast<double>(without.feature_bytes) /
+                            static_cast<double>(kMessages);
+  const double extra_pm = static_cast<double>(without.output_return_bytes) /
+                          static_cast<double>(kMessages);
+  overhead.add_row({"feature_payload_bytes/msg",
+                    metrics::Table::num(payload_pm, 2)});
+  overhead.add_row({"output_return_bytes/msg", metrics::Table::num(extra_pm, 2)});
+  overhead.add_row(
+      {"overhead_fraction", metrics::Table::num(extra_pm / payload_pm, 3)});
+  bench::emit(overhead, argc, argv);
+  return 0;
+}

@@ -1,0 +1,127 @@
+// E6 (Table III) — Model selection: stateless vs context-aware.
+//
+// Claim (§III-A): "a traditional classification neural network ... may not
+// take into account the context of the message. As context is often
+// critical", context-aware selectors (we use EWMA+Markov decoration and a
+// GRU sequence classifier for the suggested LSTM) should win on
+// conversations, especially on ambiguous (polysemy-heavy) messages.
+//
+// Table: per-message selection accuracy by selector and topic-switch rate,
+// plus mean recovery lag after a topic switch.
+#include "bench_util.hpp"
+#include "metrics/stats.hpp"
+#include "select/context.hpp"
+#include "select/gru_classifier.hpp"
+#include "select/logistic.hpp"
+#include "select/naive_bayes.hpp"
+
+using namespace semcache;
+
+namespace {
+
+struct Eval {
+  double accuracy = 0.0;
+  double switch_lag = 0.0;  // messages until correct again after a switch
+};
+
+Eval evaluate(select::DomainSelector& sel, const text::World& world,
+              std::size_t conversations, double switch_prob,
+              std::uint64_t seed) {
+  Rng rng(seed);
+  std::size_t correct = 0, total = 0;
+  metrics::OnlineStats lag;
+  for (std::size_t c = 0; c < conversations; ++c) {
+    const auto conv = select::generate_conversation(world, 20, switch_prob, rng);
+    sel.reset_context();
+    std::size_t pending_switch_at = 0;
+    bool pending = false;
+    for (std::size_t i = 0; i < conv.messages.size(); ++i) {
+      const auto& msg = conv.messages[i];
+      if (i > 0 && msg.domain != conv.messages[i - 1].domain) {
+        pending = true;
+        pending_switch_at = i;
+      }
+      const std::size_t predicted = sel.select(msg.surface);
+      if (predicted == msg.domain) {
+        ++correct;
+        if (pending) {
+          lag.add(static_cast<double>(i - pending_switch_at));
+          pending = false;
+        }
+      }
+      ++total;
+    }
+  }
+  return {static_cast<double>(correct) / static_cast<double>(total),
+          lag.count() > 0 ? lag.mean() : 0.0};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Rng rng(1601);
+  // Short, ambiguous messages: most positions are function words or
+  // polysemous words, so a single message often contains NO domain-
+  // exclusive word — exactly the regime where context is the only signal.
+  text::WorldConfig wc = bench::standard_world(4, 4);
+  wc.polysemous_prob = 0.45;
+  wc.function_word_prob = 0.35;
+  text::World world = text::World::generate(wc, rng);
+
+  // Training budget: 800 labeled messages (shared); GRU additionally trains
+  // on 300 labeled conversations (it is the only sequence model).
+  auto train_flat = [&](select::DomainSelector& sel, std::uint64_t seed) {
+    Rng trng(seed);
+    for (int i = 0; i < 800; ++i) {
+      const auto d = static_cast<std::size_t>(trng.uniform_int(
+          0, static_cast<std::int64_t>(world.num_domains()) - 1));
+      const auto s = world.sample_sentence(d, trng);
+      sel.observe(s.surface, d);
+    }
+  };
+
+  select::NaiveBayesSelector nb(world.surface_count(), world.num_domains());
+  train_flat(nb, 11);
+
+  Rng lrng(12);
+  select::LogisticSelector logistic(world.surface_count(),
+                                    world.num_domains(), lrng);
+  train_flat(logistic, 13);
+
+  auto ctx_base = std::make_unique<select::NaiveBayesSelector>(
+      world.surface_count(), world.num_domains());
+  train_flat(*ctx_base, 11);
+  select::ContextSelector context(std::move(ctx_base), world.num_domains());
+
+  Rng grng(14);
+  select::GruClassifier gru(world.surface_count(), world.num_domains(), grng);
+  Rng gcrng(15);
+  for (int i = 0; i < 300; ++i) {
+    gru.train_conversation(
+        select::generate_conversation(world, 12, 0.12, gcrng));
+  }
+
+  metrics::Table table("E6/TableIII — selection accuracy on conversations",
+                       {"selector", "switch=0.05", "switch=0.15",
+                        "switch=0.30", "recovery_lag@0.15"});
+  struct Entry {
+    const char* name;
+    select::DomainSelector* sel;
+  };
+  select::DomainSelector* selectors[] = {&nb, &logistic, &context, &gru};
+  const char* names[] = {"naive_bayes (stateless)", "logistic (stateless)",
+                         "context(NB)+markov", "gru (learned context)"};
+  for (int s = 0; s < 4; ++s) {
+    std::vector<std::string> row = {names[s]};
+    double lag15 = 0.0;
+    for (const double sw : {0.05, 0.15, 0.30}) {
+      const Eval e = evaluate(*selectors[s], world, 40, sw, 1700);
+      row.push_back(metrics::Table::num(e.accuracy));
+      if (sw == 0.15) lag15 = e.switch_lag;
+    }
+    row.push_back(metrics::Table::num(lag15, 2));
+    table.add_row(row);
+  }
+  bench::emit(table, argc, argv);
+  return 0;
+}

@@ -1,0 +1,187 @@
+// E7 (Fig. 5) — Where should semantic encoding/decoding run?
+//
+// Claim (§I): "it is essential to explore the potential of edge computing
+// to aid the semantic encoding/decoding process, as semantic communication
+// requires a certain level of computing power".
+//
+// Three placements of the KB compute, modeled directly on the DES
+// substrate with codec-derived FLOP counts:
+//   device : encode on the sender phone, decode on the receiver phone
+//            (feature bits still relayed through the edges);
+//   edge   : the paper's design — encode/decode at the edge servers;
+//   cloud  : both at the cloud, all traffic hairpins through it.
+// Series: mean / p95 latency vs offered load, and a component breakdown.
+#include "bench_util.hpp"
+#include "edge/network.hpp"
+#include "metrics/stats.hpp"
+
+using namespace semcache;
+
+namespace {
+
+enum class Placement { kDevice, kEdge, kCloud };
+
+const char* name(Placement p) {
+  switch (p) {
+    case Placement::kDevice: return "device";
+    case Placement::kEdge: return "edge";
+    case Placement::kCloud: return "cloud";
+  }
+  return "?";
+}
+
+struct LatencyResult {
+  double mean_ms = 0.0;
+  double p95_ms = 0.0;
+};
+
+// One message flow; compute charged on the node that hosts the KB model.
+// Message sizes: raw text 24 B, semantic feature payload 14 B.
+struct FlowConfig {
+  double encode_flops;   // per message
+  double decode_flops;
+  std::size_t raw_bytes = 24;
+  std::size_t feature_bytes = 14;
+};
+
+LatencyResult run(Placement placement, double rate_hz, const FlowConfig& flow,
+                  std::size_t messages) {
+  edge::Simulator sim;
+  edge::TopologyConfig tc;
+  // A modest edge box and a phone; the gap drives the story.
+  tc.device_flops = 2e9;
+  tc.edge_flops = 1e11;
+  tc.cloud_flops = 1e12;
+  auto topo = edge::build_standard_topology(2, 1, tc);
+  edge::Network& net = *topo.net;
+  const auto s_dev = topo.devices[0][0];
+  const auto r_dev = topo.devices[1][0];
+  const auto s_edge = topo.edges[0];
+  const auto r_edge = topo.edges[1];
+  const auto cloud = topo.cloud;
+
+  metrics::OnlineStats lat;
+  metrics::PercentileTracker p95;
+  std::size_t done = 0;
+
+  auto launch = [&](double t0) {
+    auto finish = [&, t0] {
+      const double ms = (sim.now() - t0) * 1e3;
+      lat.add(ms);
+      p95.add(ms);
+      ++done;
+    };
+    switch (placement) {
+      case Placement::kEdge:
+        // dev -raw-> edge -(encode)-> feature -> edge' -(decode)-> dev'.
+        net.link(s_dev, s_edge).send(sim, flow.raw_bytes, [&, finish] {
+          net.node(s_edge).submit_compute(sim, flow.encode_flops, [&, finish] {
+            net.link(s_edge, r_edge).send(sim, flow.feature_bytes, [&, finish] {
+              net.node(r_edge).submit_compute(sim, flow.decode_flops,
+                                              [&, finish] {
+                net.link(r_edge, r_dev).send(sim, flow.raw_bytes, finish);
+              });
+            });
+          });
+        });
+        break;
+      case Placement::kDevice:
+        // encode on phone, feature relayed dev->edge->edge'->dev', decode
+        // on the receiving phone.
+        net.node(s_dev).submit_compute(sim, flow.encode_flops, [&, finish] {
+          net.link(s_dev, s_edge).send(sim, flow.feature_bytes, [&, finish] {
+            net.link(s_edge, r_edge).send(sim, flow.feature_bytes, [&, finish] {
+              net.link(r_edge, r_dev).send(sim, flow.feature_bytes,
+                                           [&, finish] {
+                net.node(r_dev).submit_compute(sim, flow.decode_flops, finish);
+              });
+            });
+          });
+        });
+        break;
+      case Placement::kCloud:
+        // raw text all the way to the cloud and back down.
+        net.link(s_dev, s_edge).send(sim, flow.raw_bytes, [&, finish] {
+          net.link(s_edge, cloud).send(sim, flow.raw_bytes, [&, finish] {
+            net.node(cloud).submit_compute(
+                sim, flow.encode_flops + flow.decode_flops, [&, finish] {
+                  net.link(cloud, r_edge).send(sim, flow.raw_bytes, [&, finish] {
+                    net.link(r_edge, r_dev).send(sim, flow.raw_bytes, finish);
+                  });
+                });
+          });
+        });
+        break;
+    }
+  };
+
+  for (std::size_t i = 0; i < messages; ++i) {
+    const double t = static_cast<double>(i) / rate_hz;
+    sim.schedule_at(t, [&, t] { launch(t); });
+  }
+  sim.run();
+  return {lat.mean(), p95.percentile(0.95)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // FLOP counts derived from a real trained codec at the standard size,
+  // scaled up to a realistic transformer-KB workload (x2000: our toy codec
+  // is ~8k parameters, DeepSC-class models are ~10M).
+  Rng rng(1701);
+  text::World world = text::World::generate(bench::standard_world(2), rng);
+  const auto cc = bench::standard_codec(world, 1);
+  Rng init(1);
+  semantic::SemanticCodec probe(cc, init);
+  const double scale = 2000.0;
+  FlowConfig flow{
+      2.0 * static_cast<double>(probe.encoder().parameters().scalar_count()) *
+          scale,
+      2.0 * static_cast<double>(probe.decoder().parameters().scalar_count()) *
+          scale};
+
+  metrics::Table table("E7/Fig5 — end-to-end latency vs placement and load",
+                       {"rate_msg_s", "placement", "mean_ms", "p95_ms"});
+  for (const double rate : {5.0, 20.0, 80.0, 320.0}) {
+    for (const Placement p :
+         {Placement::kDevice, Placement::kEdge, Placement::kCloud}) {
+      const LatencyResult r = run(p, rate, flow, 300);
+      table.add_row({metrics::Table::num(rate, 0), name(p),
+                     metrics::Table::num(r.mean_ms, 2),
+                     metrics::Table::num(r.p95_ms, 2)});
+    }
+  }
+  bench::emit(table, argc, argv);
+
+  // Component breakdown at light load (single message, idle network).
+  metrics::Table parts("E7/Fig5-b — latency components (idle network)",
+                       {"component", "device_ms", "edge_ms", "cloud_ms"});
+  edge::TopologyConfig tc;
+  tc.device_flops = 2e9;
+  tc.edge_flops = 1e11;
+  tc.cloud_flops = 1e12;
+  auto topo = edge::build_standard_topology(2, 1, tc);
+  const double enc_dev = flow.encode_flops / tc.device_flops * 1e3;
+  const double enc_edge = flow.encode_flops / tc.edge_flops * 1e3;
+  const double enc_cloud =
+      (flow.encode_flops + flow.decode_flops) / tc.cloud_flops * 1e3;
+  const double access =
+      topo.net->link(topo.devices[0][0], topo.edges[0]).transfer_time(24) * 1e3;
+  const double backbone =
+      topo.net->link(topo.edges[0], topo.edges[1]).transfer_time(14) * 1e3;
+  const double cloud_hop =
+      topo.net->link(topo.edges[0], topo.cloud).transfer_time(24) * 1e3;
+  parts.add_row({"encode+decode compute",
+                 metrics::Table::num(enc_dev * 2, 3),
+                 metrics::Table::num(enc_edge * 2, 3),
+                 metrics::Table::num(enc_cloud, 3)});
+  parts.add_row({"access links", metrics::Table::num(access * 2, 3),
+                 metrics::Table::num(access * 2, 3),
+                 metrics::Table::num(access * 2, 3)});
+  parts.add_row({"backbone/cloud hops", metrics::Table::num(backbone, 3),
+                 metrics::Table::num(backbone, 3),
+                 metrics::Table::num(cloud_hop * 2, 3)});
+  bench::emit(parts, argc, argv);
+  return 0;
+}

@@ -1,0 +1,108 @@
+// E9 (Table IV) — Gradient-sync compression for the decoder update (§II-D).
+//
+// The decoder delta shipped to the receiver edge can be sparsified and
+// quantized. Both replicas apply the same lossy delta (consistency is
+// structural), so compression trades SYNC BYTES against POST-UPDATE
+// FIDELITY, never against replica agreement.
+//
+// Table: wire bytes, compression residual, post-sync accuracy on the
+// user's idiolect traffic, and the replica byte-identity check.
+#include "bench_util.hpp"
+#include "fl/sync.hpp"
+#include "metrics/ngram.hpp"
+#include "metrics/stats.hpp"
+#include "text/idiolect.hpp"
+
+using namespace semcache;
+
+namespace {
+
+double idiolect_accuracy(semantic::KbEncoder& enc, semantic::KbDecoder& dec,
+                         const text::World& world,
+                         const text::Idiolect& idio, std::size_t sentences,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  metrics::OnlineStats acc;
+  for (std::size_t i = 0; i < sentences; ++i) {
+    auto msg = world.sample_sentence(0, rng);
+    idio.apply(msg);
+    const auto decoded = dec.decode(enc.encode(msg.surface));
+    acc.add(metrics::token_accuracy(msg.meanings, decoded));
+  }
+  return acc.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Rng rng(1901);
+  text::World world = text::World::generate(bench::standard_world(2), rng);
+  const auto cc = bench::standard_codec(world, 2);
+  auto general = bench::train_domain_codec(world, 0, cc, 6000, 0.0, 19);
+
+  text::IdiolectConfig icfg;
+  icfg.substitution_rate = 0.7;
+  icfg.slang_prob = 0.9;
+  Rng irng(1902);
+  const text::Idiolect idio = text::Idiolect::generate(world, icfg, irng);
+
+  // Buffered transactions + the fine-tuned scratch model (shared across
+  // compression variants so only the sync wire differs).
+  std::vector<semantic::Sample> buffer;
+  Rng srng(1903);
+  for (int i = 0; i < 64; ++i) {
+    buffer.push_back(
+        semantic::CodecTrainer::draw_sample(world, 0, &idio, srng));
+  }
+  auto scratch = general->clone();
+  Rng frng(1904);
+  semantic::CodecTrainer::finetune(*scratch, buffer, 10, 2e-3, frng);
+
+  const auto before_vals = general->decoder().parameters().flatten_values();
+  const auto after_vals = scratch->decoder().parameters().flatten_values();
+  const double base_acc = idiolect_accuracy(
+      general->encoder(), general->decoder(), world, idio, 200, 42);
+  // Upper bound: raw fine-tuned weights (dense float32 sync).
+  const double tuned_acc = idiolect_accuracy(
+      scratch->encoder(), scratch->decoder(), world, idio, 200, 42);
+
+  metrics::Table table(
+      "E9/TableIV — decoder gradient sync: bytes vs fidelity",
+      {"top_k", "bits", "sync_bytes", "residual_l2", "post_sync_acc",
+       "replicas_identical"});
+  table.add_row({"(no update)", "-", "0", "-", metrics::Table::num(base_acc),
+                 "yes"});
+  const fl::CompressionConfig configs[] = {
+      {1.0, 32}, {1.0, 16}, {1.0, 8}, {0.25, 8}, {0.10, 8}, {0.01, 8}};
+  for (const auto& cfg : configs) {
+    fl::ModelSynchronizer sync(cfg);
+    const fl::SyncMessage msg =
+        sync.make_message(before_vals, after_vals, "user", 0, 1);
+
+    // Sender-side replica: fine-tuned ENCODER (exact) + lossy decoder delta.
+    auto sender = general->clone();
+    nn::ParameterSet senc = sender->encoder().parameters();
+    senc.copy_values_from(scratch->encoder().parameters());
+    nn::ParameterSet sdec = sender->decoder().parameters();
+    sync.apply(sdec, msg);
+    // Receiver-side decoder replica.
+    auto receiver = general->clone();
+    nn::ParameterSet rdec = receiver->decoder().parameters();
+    sync.apply(rdec, msg);
+
+    const bool identical = sdec.values_equal(rdec);
+    const double acc = idiolect_accuracy(sender->encoder(),
+                                         receiver->decoder(), world, idio,
+                                         200, 42);
+    table.add_row({metrics::Table::num(cfg.top_k_fraction, 2),
+                   std::to_string(cfg.bits), std::to_string(msg.byte_size()),
+                   metrics::Table::num(
+                       sync.compression_residual(before_vals, after_vals), 4),
+                   metrics::Table::num(acc), identical ? "yes" : "NO"});
+  }
+  table.add_row({"(raw weights)", "32",
+                 std::to_string(4 * after_vals.size()), "0",
+                 metrics::Table::num(tuned_acc), "n/a"});
+  bench::emit(table, argc, argv);
+  return 0;
+}

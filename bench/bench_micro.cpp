@@ -1,0 +1,160 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// primitives: tensor matmul, codec encode/decode, Viterbi decoding,
+// Huffman coding, cache operations, quantization, and the event loop.
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hpp"
+#include "channel/convolutional.hpp"
+#include "channel/modulation.hpp"
+#include "compress/huffman.hpp"
+#include "edge/sim.hpp"
+#include "semantic/codec.hpp"
+#include "semantic/quantizer.hpp"
+#include "tensor/ops.hpp"
+
+using namespace semcache;
+
+static void BM_TensorMatmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const auto a = tensor::Tensor::uniform({n, n}, 1.0f, rng);
+  const auto b = tensor::Tensor::uniform({n, n}, 1.0f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_TensorMatmul)->Arg(16)->Arg(64)->Arg(128);
+
+namespace {
+semantic::CodecConfig micro_codec_config() {
+  semantic::CodecConfig cc;
+  cc.surface_vocab = 300;
+  cc.meaning_vocab = 200;
+  cc.sentence_length = 8;
+  cc.embed_dim = 20;
+  cc.feature_dim = 16;
+  cc.hidden_dim = 48;
+  return cc;
+}
+}  // namespace
+
+static void BM_CodecEncode(benchmark::State& state) {
+  Rng rng(2);
+  semantic::SemanticCodec codec(micro_codec_config(), rng);
+  const std::vector<std::int32_t> surface = {1, 2, 3, 4, 5, 6, 7, 8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.encoder().encode(surface));
+  }
+}
+BENCHMARK(BM_CodecEncode);
+
+static void BM_CodecDecode(benchmark::State& state) {
+  Rng rng(3);
+  semantic::SemanticCodec codec(micro_codec_config(), rng);
+  const std::vector<std::int32_t> surface = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto feature = codec.encoder().encode(surface);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.decoder().decode(feature));
+  }
+}
+BENCHMARK(BM_CodecDecode);
+
+static void BM_CodecTrainStep(benchmark::State& state) {
+  Rng rng(4);
+  semantic::SemanticCodec codec(micro_codec_config(), rng);
+  const std::vector<std::int32_t> surface = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<std::int32_t> meanings = {9, 8, 7, 6, 5, 4, 3, 2};
+  for (auto _ : state) {
+    codec.forward_loss(surface, meanings);
+    codec.backward();
+  }
+}
+BENCHMARK(BM_CodecTrainStep);
+
+static void BM_ViterbiDecode(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  channel::ConvolutionalCode code;
+  BitVec info(bits);
+  for (auto& b : info) b = rng.bernoulli(0.5) ? 1 : 0;
+  const BitVec coded = code.encode(info);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.decode(coded));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bits));
+}
+BENCHMARK(BM_ViterbiDecode)->Arg(64)->Arg(512);
+
+static void BM_HuffmanEncode(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<std::uint8_t> data(1024);
+  for (auto& b : data) {
+    b = rng.bernoulli(0.7) ? 'e' : static_cast<std::uint8_t>(
+                                       rng.uniform_int(0, 255));
+  }
+  const auto code = compress::HuffmanCode::build(compress::histogram(data));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.encode(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_HuffmanEncode);
+
+static void BM_CacheGetPut(benchmark::State& state) {
+  cache::Cache<int> c(1 << 20, cache::make_lru_policy());
+  cache::EntryInfo info;
+  info.size_bytes = 64;
+  Rng rng(7);
+  int i = 0;
+  for (auto _ : state) {
+    const std::string key = "k" + std::to_string(i++ % 1000);
+    if (c.get(key) == nullptr) {
+      c.put(key, std::make_shared<int>(i), info);
+    }
+  }
+}
+BENCHMARK(BM_CacheGetPut);
+
+static void BM_Quantizer(benchmark::State& state) {
+  semantic::FeatureQuantizer q(16, 6);
+  Rng rng(8);
+  tensor::Tensor f({1, 16});
+  for (std::size_t i = 0; i < 16; ++i) {
+    f.at(0, i) = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.roundtrip(f));
+  }
+}
+BENCHMARK(BM_Quantizer);
+
+static void BM_SimulatorEventLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    edge::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(static_cast<double>(i) * 1e-3, [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.processed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_SimulatorEventLoop);
+
+static void BM_Modulate16Qam(benchmark::State& state) {
+  Rng rng(9);
+  BitVec bits(4096);
+  for (auto& b : bits) b = rng.bernoulli(0.5) ? 1 : 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        channel::modulate(bits, channel::Modulation::kQam16));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Modulate16Qam);
+
+BENCHMARK_MAIN();

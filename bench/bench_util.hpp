@@ -1,0 +1,66 @@
+// Shared builders for the experiment benches (E1..E10). Each bench binary
+// regenerates one table/figure of the evaluation plan in DESIGN.md §2 and
+// prints it as a markdown table (and CSV on --csv).
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "metrics/table.hpp"
+#include "semantic/codec.hpp"
+#include "semantic/trainer.hpp"
+#include "text/corpus.hpp"
+
+namespace semcache::bench {
+
+/// Standard experiment world: 4 domains, strong polysemy.
+inline text::WorldConfig standard_world(std::size_t domains = 4,
+                                        std::size_t sentence_length = 8) {
+  text::WorldConfig wc;
+  wc.num_domains = domains;
+  wc.concepts_per_domain = 20;
+  wc.num_polysemous = 12;
+  wc.sentence_length = sentence_length;
+  return wc;
+}
+
+/// Codec sized for the standard world (1..2 feature dims per position).
+inline semantic::CodecConfig standard_codec(const text::World& world,
+                                            std::size_t per_position_dims = 1,
+                                            std::size_t hidden = 48) {
+  semantic::CodecConfig cc;
+  cc.surface_vocab = world.surface_count();
+  cc.meaning_vocab = world.meaning_count();
+  cc.sentence_length = world.config().sentence_length;
+  cc.embed_dim = 20;
+  cc.feature_dim = cc.sentence_length * per_position_dims;
+  cc.hidden_dim = hidden;
+  return cc;
+}
+
+/// Pretrain a specialized codec for one domain.
+inline std::unique_ptr<semantic::SemanticCodec> train_domain_codec(
+    const text::World& world, std::size_t domain,
+    const semantic::CodecConfig& cc, std::size_t steps, double feature_noise,
+    std::uint64_t seed) {
+  Rng init(seed);
+  auto codec = std::make_unique<semantic::SemanticCodec>(cc, init);
+  semantic::TrainConfig tc;
+  tc.steps = steps;
+  tc.feature_noise = feature_noise;
+  Rng trng(seed ^ 0xBEEF);
+  semantic::CodecTrainer::pretrain_domain(*codec, world, domain, tc, trng);
+  return codec;
+}
+
+/// Print a table as markdown (default) or CSV when --csv was passed.
+inline void emit(const metrics::Table& table, int argc, char** argv) {
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--csv") csv = true;
+  }
+  std::cout << (csv ? table.to_csv() : table.to_markdown()) << "\n";
+}
+
+}  // namespace semcache::bench

@@ -1,0 +1,83 @@
+// Channel explorer: poke the PHY substrate interactively.
+//
+// Sends one semantic message through every combination of channel code x
+// modulation at a chosen SNR and prints what survives — a compact way to
+// see coding gain, modulation sensitivity, and the graceful degradation of
+// semantic features.
+//
+// Run: ./channel_explorer [snr_db] [seed]
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "channel/pipeline.hpp"
+#include "metrics/ngram.hpp"
+#include "semantic/fidelity.hpp"
+#include "semantic/quantizer.hpp"
+#include "semantic/trainer.hpp"
+
+using namespace semcache;
+
+int main(int argc, char** argv) {
+  const double snr_db = argc > 1 ? std::strtod(argv[1], nullptr) : 4.0;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 5;
+
+  Rng rng(seed);
+  text::WorldConfig wc;
+  wc.num_domains = 2;
+  wc.concepts_per_domain = 20;
+  text::World world = text::World::generate(wc, rng);
+
+  semantic::CodecConfig cc;
+  cc.surface_vocab = world.surface_count();
+  cc.meaning_vocab = world.meaning_count();
+  cc.sentence_length = wc.sentence_length;
+  cc.feature_dim = 16;
+  semantic::FeatureQuantizer quantizer(cc.feature_dim, 4);
+
+  std::cout << "Training a domain KB codec...\n";
+  Rng init(seed ^ 1);
+  semantic::SemanticCodec codec(cc, init);
+  semantic::TrainConfig tc;
+  tc.steps = 5000;
+  tc.feature_noise = quantizer.max_error() / 2;
+  Rng trng(seed ^ 2);
+  semantic::CodecTrainer::pretrain_domain(codec, world, 0, tc, trng);
+
+  const auto msg = world.sample_sentence(0, rng);
+  std::cout << "\nmessage : " << world.surface_to_string(msg.surface)
+            << "\nmeaning : " << world.meanings_to_string(msg.meanings)
+            << "\nsnr     : " << snr_db << " dB (AWGN)\n\n";
+
+  std::cout << std::left << std::setw(14) << "code" << std::setw(8) << "mod"
+            << std::setw(10) << "airtime" << std::setw(9) << "acc"
+            << "decoded\n";
+  for (const std::string code :
+       {"uncoded", "rep3", "hamming74", "conv_k3_r12"}) {
+    for (const channel::Modulation mod :
+         {channel::Modulation::kBpsk, channel::Modulation::kQpsk,
+          channel::Modulation::kQam16}) {
+      auto pipe =
+          channel::make_awgn_pipeline(channel::make_code(code), mod, snr_db);
+      // Average over repeated transmissions of the same message.
+      metrics::OnlineStats acc;
+      std::vector<std::int32_t> last;
+      Rng crng(seed ^ 3);
+      for (int i = 0; i < 50; ++i) {
+        const auto feature = codec.encoder().encode(msg.surface);
+        const BitVec rx = pipe->transmit(quantizer.quantize(feature), crng);
+        last = codec.decoder().decode(quantizer.dequantize(rx));
+        acc.add(metrics::token_accuracy(msg.meanings, last));
+      }
+      std::cout << std::setw(14) << code << std::setw(8)
+                << channel::modulation_name(mod) << std::setw(10)
+                << pipe->code().encoded_length(quantizer.total_bits())
+                << std::setw(9) << std::setprecision(3) << acc.mean()
+                << world.meanings_to_string(last) << "\n";
+    }
+  }
+  std::cout << "\n(airtime = coded bits on the channel for the "
+            << quantizer.total_bits() << "-bit semantic payload)\n";
+  return 0;
+}

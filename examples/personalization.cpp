@@ -1,0 +1,78 @@
+// Personalization: watch the Fig. 1 update loop (③/④) work.
+//
+// A user speaks a strong personal idiolect (private slang for most domain
+// concepts). The general KB model misunderstands them; every message is
+// buffered with its decoder-copy mismatch, and once the buffer trips the
+// user-specific model is fine-tuned and its decoder delta is shipped to
+// the receiver edge. The printed trace shows accuracy recovering and the
+// replicas staying byte-identical after every sync.
+//
+// Run: ./personalization [seed]
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "core/system.hpp"
+
+using namespace semcache;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3;
+
+  core::SystemConfig config;
+  config.seed = seed;
+  config.world.num_domains = 2;
+  config.world.concepts_per_domain = 20;
+  config.pretrain.steps = 5000;
+  config.codec.feature_dim = 16;
+  config.feature_bits = 4;
+  config.oracle_selection = true;  // isolate adaptation from selection
+  config.buffer_trigger = 16;
+  config.finetune_epochs = 8;
+
+  std::cout << "Pretraining general KB models...\n";
+  auto system = core::SemanticEdgeSystem::build(config);
+
+  text::IdiolectConfig idio;
+  idio.substitution_rate = 0.8;  // speaks almost entirely in private slang
+  idio.slang_prob = 0.9;
+  system->register_user("slangmaster", 0, &idio);
+  system->register_user("listener", 1, nullptr);
+
+  std::cout << "\nslangmaster speaks a private idiolect; watch the user-"
+               "specific model adapt:\n\n"
+            << "  msgs | window accuracy | mismatch (decoder copy) | events\n";
+
+  metrics::OnlineStats window_acc, window_mis;
+  for (int i = 1; i <= 96; ++i) {
+    const auto msg = system->sample_message("slangmaster", 0);
+    const auto r = system->transmit("slangmaster", "listener", msg);
+    window_acc.add(r.token_accuracy);
+    window_mis.add(r.mismatch);
+    static std::string events;
+    if (r.triggered_update) {
+      events += " update#" +
+                std::to_string(system->stats().updates) + "(" +
+                std::to_string(r.sync_bytes) + "B sync)";
+    }
+    if (i % 8 == 0) {
+      std::cout << "  " << std::setw(4) << i << " | " << std::fixed
+                << std::setprecision(3) << std::setw(15)
+                << window_acc.mean() << " | " << std::setw(23)
+                << window_mis.mean() << " |" << events << "\n";
+      window_acc = {};
+      window_mis = {};
+      events.clear();
+    }
+  }
+
+  std::cout << "\nreplica check (sender decoder copy vs receiver decoder): "
+            << (system->replicas_in_sync("slangmaster", 0, 0, 1)
+                    ? "byte-identical"
+                    : "DIVERGED (bug!)")
+            << "\n"
+            << "total gradient sync bytes: " << system->stats().sync_bytes
+            << " across " << system->stats().updates << " updates\n";
+  return 0;
+}

@@ -1,0 +1,14 @@
+#include "cache/cache.hpp"
+
+#include <sstream>
+
+namespace semcache::cache {
+
+std::string CacheStats::to_string() const {
+  std::ostringstream os;
+  os << "hits=" << hits << " misses=" << misses << " hit_rate=" << hit_rate()
+     << " evictions=" << evictions << " rejected=" << rejected;
+  return os.str();
+}
+
+}  // namespace semcache::cache

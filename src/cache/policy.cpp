@@ -1,0 +1,216 @@
+#include "cache/policy.hpp"
+
+#include <algorithm>
+#include <list>
+#include <map>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace semcache::cache {
+
+namespace {
+
+class FifoPolicy final : public EvictionPolicy {
+ public:
+  void on_insert(const std::string& key, const EntryInfo&) override {
+    order_.push_back(key);
+  }
+  void on_access(const std::string&) override {}
+  void on_erase(const std::string& key) override {
+    order_.remove(key);
+  }
+  std::string choose_victim() override {
+    SEMCACHE_CHECK(!order_.empty(), "fifo: empty");
+    return order_.front();
+  }
+  std::string name() const override { return "fifo"; }
+
+ private:
+  std::list<std::string> order_;
+};
+
+class LruPolicy final : public EvictionPolicy {
+ public:
+  void on_insert(const std::string& key, const EntryInfo&) override {
+    touch(key);
+  }
+  void on_access(const std::string& key) override { touch(key); }
+  void on_erase(const std::string& key) override {
+    const auto it = pos_.find(key);
+    if (it != pos_.end()) {
+      order_.erase(it->second);
+      pos_.erase(it);
+    }
+  }
+  std::string choose_victim() override {
+    SEMCACHE_CHECK(!order_.empty(), "lru: empty");
+    return order_.back();
+  }
+  std::string name() const override { return "lru"; }
+
+ private:
+  void touch(const std::string& key) {
+    const auto it = pos_.find(key);
+    if (it != pos_.end()) order_.erase(it->second);
+    order_.push_front(key);
+    pos_[key] = order_.begin();
+  }
+  std::list<std::string> order_;  // front = most recent
+  std::unordered_map<std::string, std::list<std::string>::iterator> pos_;
+};
+
+class LfuPolicy final : public EvictionPolicy {
+ public:
+  void on_insert(const std::string& key, const EntryInfo&) override {
+    entries_[key] = {1, seq_++};
+  }
+  void on_access(const std::string& key) override {
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) ++it->second.count;
+  }
+  void on_erase(const std::string& key) override { entries_.erase(key); }
+  std::string choose_victim() override {
+    SEMCACHE_CHECK(!entries_.empty(), "lfu: empty");
+    // Min frequency; ties broken by earliest insertion.
+    auto best = entries_.begin();
+    for (auto it = std::next(entries_.begin()); it != entries_.end(); ++it) {
+      if (it->second.count < best->second.count ||
+          (it->second.count == best->second.count &&
+           it->second.seq < best->second.seq)) {
+        best = it;
+      }
+    }
+    return best->first;
+  }
+  std::string name() const override { return "lfu"; }
+
+ private:
+  struct State {
+    std::uint64_t count;
+    std::uint64_t seq;
+  };
+  std::unordered_map<std::string, State> entries_;
+  std::uint64_t seq_ = 0;
+};
+
+// Greedy-Dual-Size-Frequency: priority = clock + freq * cost / size.
+class GdsfPolicy final : public EvictionPolicy {
+ public:
+  void on_insert(const std::string& key, const EntryInfo& info) override {
+    State s;
+    s.info = info;
+    s.freq = 1;
+    s.priority = priority(s);
+    entries_[key] = s;
+  }
+  void on_access(const std::string& key) override {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) return;
+    ++it->second.freq;
+    it->second.priority = priority(it->second);
+  }
+  void on_erase(const std::string& key) override { entries_.erase(key); }
+  std::string choose_victim() override {
+    SEMCACHE_CHECK(!entries_.empty(), "gdsf: empty");
+    auto best = entries_.begin();
+    for (auto it = std::next(entries_.begin()); it != entries_.end(); ++it) {
+      if (it->second.priority < best->second.priority) best = it;
+    }
+    clock_ = best->second.priority;  // inflation keeps old entries evictable
+    return best->first;
+  }
+  std::string name() const override { return "gdsf"; }
+
+ private:
+  struct State {
+    EntryInfo info;
+    std::uint64_t freq = 0;
+    double priority = 0.0;
+  };
+  double priority(const State& s) const {
+    const double size = std::max<double>(1.0, static_cast<double>(s.info.size_bytes));
+    return clock_ + static_cast<double>(s.freq) * s.info.fetch_cost / size;
+  }
+  std::unordered_map<std::string, State> entries_;
+  double clock_ = 0.0;
+};
+
+// GDSF variant whose frequency term decays exponentially with every access
+// anywhere in the cache — recently-hot models win over historically-hot
+// ones, which matters under conversation topic drift.
+class SemPopPolicy final : public EvictionPolicy {
+ public:
+  explicit SemPopPolicy(double decay) : decay_(decay) {
+    SEMCACHE_CHECK(decay > 0.0 && decay <= 1.0,
+                   "sempop: decay must be in (0, 1]");
+  }
+  void on_insert(const std::string& key, const EntryInfo& info) override {
+    decay_all();
+    State s;
+    s.info = info;
+    s.pop = 1.0;
+    entries_[key] = s;
+  }
+  void on_access(const std::string& key) override {
+    decay_all();
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) it->second.pop += 1.0;
+  }
+  void on_erase(const std::string& key) override { entries_.erase(key); }
+  std::string choose_victim() override {
+    SEMCACHE_CHECK(!entries_.empty(), "sempop: empty");
+    auto score = [](const State& s) {
+      const double size =
+          std::max<double>(1.0, static_cast<double>(s.info.size_bytes));
+      return s.pop * s.info.fetch_cost / size;
+    };
+    auto best = entries_.begin();
+    for (auto it = std::next(entries_.begin()); it != entries_.end(); ++it) {
+      if (score(it->second) < score(best->second)) best = it;
+    }
+    return best->first;
+  }
+  std::string name() const override { return "sempop"; }
+
+ private:
+  struct State {
+    EntryInfo info;
+    double pop = 0.0;
+  };
+  void decay_all() {
+    for (auto& [k, s] : entries_) s.pop *= decay_;
+  }
+  std::unordered_map<std::string, State> entries_;
+  double decay_;
+};
+
+}  // namespace
+
+std::unique_ptr<EvictionPolicy> make_fifo_policy() {
+  return std::make_unique<FifoPolicy>();
+}
+std::unique_ptr<EvictionPolicy> make_lru_policy() {
+  return std::make_unique<LruPolicy>();
+}
+std::unique_ptr<EvictionPolicy> make_lfu_policy() {
+  return std::make_unique<LfuPolicy>();
+}
+std::unique_ptr<EvictionPolicy> make_gdsf_policy() {
+  return std::make_unique<GdsfPolicy>();
+}
+std::unique_ptr<EvictionPolicy> make_sempop_policy(double decay) {
+  return std::make_unique<SemPopPolicy>(decay);
+}
+
+std::unique_ptr<EvictionPolicy> make_policy(const std::string& name) {
+  if (name == "fifo") return make_fifo_policy();
+  if (name == "lru") return make_lru_policy();
+  if (name == "lfu") return make_lfu_policy();
+  if (name == "gdsf") return make_gdsf_policy();
+  if (name == "sempop") return make_sempop_policy();
+  SEMCACHE_CHECK(false, "unknown cache policy: " + name);
+  return nullptr;
+}
+
+}  // namespace semcache::cache

@@ -1,0 +1,46 @@
+// Eviction policies for the model caches on edge servers.
+//
+// The paper's abstract claims caching "reduce[s] the time and resources
+// required to establish individual KBs"; which policy the edge runs decides
+// how often a needed KB model is resident. Five policies sit behind one
+// interface so E5 can ablate them: FIFO, LRU, LFU, GDSF (cost/size aware),
+// and SemanticPopularity (GDSF with exponential recency decay — tuned for
+// topic drift in conversation workloads).
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace semcache::cache {
+
+struct EntryInfo {
+  std::size_t size_bytes = 0;
+  double fetch_cost = 1.0;  ///< seconds to re-fetch on a miss
+};
+
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+  EvictionPolicy() = default;
+  EvictionPolicy(const EvictionPolicy&) = delete;
+  EvictionPolicy& operator=(const EvictionPolicy&) = delete;
+
+  virtual void on_insert(const std::string& key, const EntryInfo& info) = 0;
+  virtual void on_access(const std::string& key) = 0;
+  virtual void on_erase(const std::string& key) = 0;
+  /// Key to evict next; the cache guarantees it is non-empty.
+  virtual std::string choose_victim() = 0;
+  virtual std::string name() const = 0;
+};
+
+std::unique_ptr<EvictionPolicy> make_fifo_policy();
+std::unique_ptr<EvictionPolicy> make_lru_policy();
+std::unique_ptr<EvictionPolicy> make_lfu_policy();
+std::unique_ptr<EvictionPolicy> make_gdsf_policy();
+/// `decay` in (0, 1]: per-access multiplicative decay of all popularities.
+std::unique_ptr<EvictionPolicy> make_sempop_policy(double decay = 0.98);
+
+/// Factory by name ("fifo" | "lru" | "lfu" | "gdsf" | "sempop").
+std::unique_ptr<EvictionPolicy> make_policy(const std::string& name);
+
+}  // namespace semcache::cache

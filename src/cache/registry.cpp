@@ -1,0 +1,36 @@
+#include "cache/registry.hpp"
+
+#include "common/check.hpp"
+
+namespace semcache::cache {
+
+void ModelRegistry::register_model(const std::string& key,
+                                   std::size_t size_bytes) {
+  SEMCACHE_CHECK(size_bytes > 0, "registry: zero-size model");
+  SEMCACHE_CHECK(!sizes_.contains(key),
+                 "registry: duplicate model key " + key);
+  sizes_.emplace(key, size_bytes);
+}
+
+std::size_t ModelRegistry::model_size(const std::string& key) const {
+  const auto it = sizes_.find(key);
+  SEMCACHE_CHECK(it != sizes_.end(), "registry: unknown model " + key);
+  return it->second;
+}
+
+edge::SimTime ModelRegistry::fetch(edge::Simulator& sim,
+                                   edge::Link& cloud_link,
+                                   const std::string& key,
+                                   edge::Simulator::Handler on_done) {
+  const std::size_t size = model_size(key);
+  ++fetches_;
+  bytes_fetched_ += size;
+  return cloud_link.send(sim, size, std::move(on_done));
+}
+
+double ModelRegistry::fetch_latency(const edge::Link& cloud_link,
+                                    const std::string& key) const {
+  return cloud_link.transfer_time(model_size(key));
+}
+
+}  // namespace semcache::cache

@@ -1,0 +1,43 @@
+// Channel-code interface ("Channel encoding / Channel decoding" boxes of the
+// paper's workflow). Codes operate on BitVecs; padding to the code's block
+// size is the code's responsibility, so decode(encode(x)) returns x followed
+// by zero padding — callers trim to the payload length they transmitted.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/bits.hpp"
+
+namespace semcache::channel {
+
+class ChannelCode {
+ public:
+  virtual ~ChannelCode() = default;
+  ChannelCode() = default;
+  ChannelCode(const ChannelCode&) = delete;
+  ChannelCode& operator=(const ChannelCode&) = delete;
+
+  virtual BitVec encode(const BitVec& info) const = 0;
+  /// Hard-decision decode; output length is the padded info length.
+  virtual BitVec decode(const BitVec& coded) const = 0;
+  /// Coded bits produced for `info_bits` information bits.
+  virtual std::size_t encoded_length(std::size_t info_bits) const = 0;
+  /// Information rate (info bits / coded bits), asymptotic.
+  virtual double rate() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Pass-through "code" — the uncoded baseline.
+class IdentityCode final : public ChannelCode {
+ public:
+  BitVec encode(const BitVec& info) const override { return info; }
+  BitVec decode(const BitVec& coded) const override { return coded; }
+  std::size_t encoded_length(std::size_t info_bits) const override {
+    return info_bits;
+  }
+  double rate() const override { return 1.0; }
+  std::string name() const override { return "uncoded"; }
+};
+
+}  // namespace semcache::channel

@@ -1,0 +1,107 @@
+#include "channel/convolutional.hpp"
+
+#include <array>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace semcache::channel {
+
+namespace {
+// Output pair for (state, input bit). State holds the last K-1 input bits,
+// most-recent bit in the LSB.
+struct Transition {
+  std::uint8_t out0;  // from generator G1
+  std::uint8_t out1;  // from generator G2
+  std::uint8_t next_state;
+};
+
+Transition transition(std::uint8_t state, std::uint8_t input) {
+  // Shift register contents: [input, state bits] = K bits total.
+  const std::uint8_t reg =
+      static_cast<std::uint8_t>((input << (ConvolutionalCode::kConstraint - 1)) | state);
+  auto parity = [](std::uint8_t v) -> std::uint8_t {
+    v ^= static_cast<std::uint8_t>(v >> 4);
+    v ^= static_cast<std::uint8_t>(v >> 2);
+    v ^= static_cast<std::uint8_t>(v >> 1);
+    return v & 1;
+  };
+  Transition t;
+  t.out0 = parity(reg & ConvolutionalCode::kG1);
+  t.out1 = parity(reg & ConvolutionalCode::kG2);
+  t.next_state = static_cast<std::uint8_t>(reg >> 1);
+  return t;
+}
+}  // namespace
+
+BitVec ConvolutionalCode::encode(const BitVec& info) const {
+  BitVec out;
+  out.reserve(encoded_length(info.size()));
+  std::uint8_t state = 0;
+  auto push = [&](std::uint8_t bit) {
+    const Transition t = transition(state, bit);
+    out.push_back(t.out0);
+    out.push_back(t.out1);
+    state = t.next_state;
+  };
+  for (const std::uint8_t b : info) push(b & 1);
+  for (std::size_t i = 0; i < kConstraint - 1; ++i) push(0);  // zero tail
+  return out;
+}
+
+BitVec ConvolutionalCode::decode(const BitVec& coded) const {
+  SEMCACHE_CHECK(coded.size() % 2 == 0,
+                 "conv: coded length must be even");
+  const std::size_t steps = coded.size() / 2;
+  SEMCACHE_CHECK(steps >= kConstraint - 1,
+                 "conv: coded stream shorter than the termination tail");
+  const std::size_t info_len = steps - (kConstraint - 1);
+
+  constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max() / 2;
+  std::array<std::size_t, kStates> metric;
+  metric.fill(kInf);
+  metric[0] = 0;  // encoder starts in the zero state
+
+  // survivor[t][s] = (previous state, input bit) packed into one byte.
+  std::vector<std::array<std::uint8_t, kStates>> survivor(
+      steps, std::array<std::uint8_t, kStates>{});
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    const std::uint8_t r0 = coded[2 * t] & 1;
+    const std::uint8_t r1 = coded[2 * t + 1] & 1;
+    std::array<std::size_t, kStates> next;
+    next.fill(kInf);
+    std::array<std::uint8_t, kStates> surv{};
+    for (std::uint8_t s = 0; s < kStates; ++s) {
+      if (metric[s] >= kInf) continue;
+      // During the tail, only input 0 is possible.
+      const int max_input = (t >= info_len) ? 0 : 1;
+      for (int in = 0; in <= max_input; ++in) {
+        const Transition tr = transition(s, static_cast<std::uint8_t>(in));
+        const std::size_t branch =
+            static_cast<std::size_t>((tr.out0 != r0) + (tr.out1 != r1));
+        const std::size_t cand = metric[s] + branch;
+        if (cand < next[tr.next_state]) {
+          next[tr.next_state] = cand;
+          surv[tr.next_state] =
+              static_cast<std::uint8_t>((in << 4) | s);  // pack (input, prev)
+        }
+      }
+    }
+    metric = next;
+    survivor[t] = surv;
+  }
+
+  // Traceback from state 0 (guaranteed by the zero tail).
+  BitVec decoded(steps, 0);
+  std::uint8_t state = 0;
+  for (std::size_t t = steps; t-- > 0;) {
+    const std::uint8_t packed = survivor[t][state];
+    decoded[t] = static_cast<std::uint8_t>((packed >> 4) & 1);
+    state = packed & 0x0F;
+  }
+  decoded.resize(info_len);  // drop the tail bits
+  return decoded;
+}
+
+}  // namespace semcache::channel

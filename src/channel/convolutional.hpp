@@ -1,0 +1,27 @@
+// Rate-1/2 convolutional code, constraint length K=3, generators (7, 5)
+// octal, zero-tail terminated, with hard-decision Viterbi decoding.
+#pragma once
+
+#include "channel/code.hpp"
+
+namespace semcache::channel {
+
+class ConvolutionalCode final : public ChannelCode {
+ public:
+  static constexpr std::size_t kConstraint = 3;       // K
+  static constexpr std::size_t kStates = 1u << (kConstraint - 1);
+  static constexpr std::uint8_t kG1 = 0b111;          // octal 7
+  static constexpr std::uint8_t kG2 = 0b101;          // octal 5
+
+  BitVec encode(const BitVec& info) const override;
+  /// Viterbi decode with traceback from the zero state (the encoder is
+  /// zero-terminated); returns exactly the original info bits.
+  BitVec decode(const BitVec& coded) const override;
+  std::size_t encoded_length(std::size_t info_bits) const override {
+    return 2 * (info_bits + kConstraint - 1);
+  }
+  double rate() const override { return 0.5; }
+  std::string name() const override { return "conv_k3_r12"; }
+};
+
+}  // namespace semcache::channel

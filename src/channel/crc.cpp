@@ -1,0 +1,55 @@
+#include "channel/crc.hpp"
+
+#include <array>
+
+namespace semcache::channel {
+
+namespace {
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const auto t = make_table();
+  return t;
+}
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t b : bytes) {
+    c = table()[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+BitVec crc_append(const BitVec& payload) {
+  const auto bytes = bits_to_bytes(payload);
+  const std::uint32_t crc = crc32(bytes);
+  BitVec out = payload;
+  append_bits(out, crc, 32);
+  return out;
+}
+
+CrcCheckResult crc_verify(const BitVec& with_crc) {
+  CrcCheckResult result;
+  if (with_crc.size() < 32) return result;
+  result.payload.assign(with_crc.begin(),
+                        with_crc.end() - 32);
+  std::size_t pos = with_crc.size() - 32;
+  const auto received =
+      static_cast<std::uint32_t>(read_bits(with_crc, pos, 32));
+  const auto bytes = bits_to_bytes(result.payload);
+  result.ok = crc32(bytes) == received;
+  return result;
+}
+
+}  // namespace semcache::channel

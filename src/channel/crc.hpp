@@ -1,0 +1,24 @@
+// CRC-32 (IEEE 802.3 polynomial) for payload integrity checks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/bits.hpp"
+
+namespace semcache::channel {
+
+/// CRC-32 of a byte span (reflected, init 0xFFFFFFFF, final xor 0xFFFFFFFF).
+std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+/// Append the 32-bit CRC (LSB-first) to a bit payload.
+BitVec crc_append(const BitVec& payload);
+
+/// Split and verify; returns {payload, ok}. A short input yields ok=false.
+struct CrcCheckResult {
+  BitVec payload;
+  bool ok = false;
+};
+CrcCheckResult crc_verify(const BitVec& with_crc);
+
+}  // namespace semcache::channel

@@ -1,0 +1,22 @@
+// Hamming(7,4): corrects any single bit error per 7-bit block.
+#pragma once
+
+#include "channel/code.hpp"
+
+namespace semcache::channel {
+
+class HammingCode final : public ChannelCode {
+ public:
+  BitVec encode(const BitVec& info) const override;
+  BitVec decode(const BitVec& coded) const override;
+  std::size_t encoded_length(std::size_t info_bits) const override;
+  double rate() const override { return 4.0 / 7.0; }
+  std::string name() const override { return "hamming74"; }
+
+  /// Encode a single 4-bit nibble into a 7-bit codeword (d1..d4 -> 7 bits).
+  static std::uint8_t encode_nibble(std::uint8_t nibble);
+  /// Decode a 7-bit codeword, correcting up to one flipped bit.
+  static std::uint8_t decode_block(std::uint8_t block);
+};
+
+}  // namespace semcache::channel

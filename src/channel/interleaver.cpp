@@ -1,0 +1,41 @@
+#include "channel/interleaver.hpp"
+
+#include "common/check.hpp"
+
+namespace semcache::channel {
+
+BlockInterleaver::BlockInterleaver(std::size_t depth) : depth_(depth) {
+  SEMCACHE_CHECK(depth >= 1, "interleaver: depth must be >= 1");
+}
+
+BitVec BlockInterleaver::interleave(const BitVec& bits) const {
+  if (depth_ == 1) return bits;
+  BitVec padded = bits;
+  while (padded.size() % depth_ != 0) padded.push_back(0);
+  const std::size_t width = padded.size() / depth_;
+  BitVec out;
+  out.reserve(padded.size());
+  for (std::size_t col = 0; col < width; ++col) {
+    for (std::size_t row = 0; row < depth_; ++row) {
+      out.push_back(padded[row * width + col]);
+    }
+  }
+  return out;
+}
+
+BitVec BlockInterleaver::deinterleave(const BitVec& bits) const {
+  if (depth_ == 1) return bits;
+  SEMCACHE_CHECK(bits.size() % depth_ == 0,
+                 "deinterleave: length must be a multiple of depth");
+  const std::size_t width = bits.size() / depth_;
+  BitVec out(bits.size());
+  std::size_t idx = 0;
+  for (std::size_t col = 0; col < width; ++col) {
+    for (std::size_t row = 0; row < depth_; ++row) {
+      out[row * width + col] = bits[idx++];
+    }
+  }
+  return out;
+}
+
+}  // namespace semcache::channel

@@ -1,0 +1,24 @@
+// Block interleaver: write row-wise into a (depth x width) grid, read
+// column-wise. Spreads burst errors (e.g. Rayleigh fades) across codewords
+// so that block codes see at most one error each.
+#pragma once
+
+#include "common/bits.hpp"
+
+namespace semcache::channel {
+
+class BlockInterleaver {
+ public:
+  explicit BlockInterleaver(std::size_t depth);
+
+  /// Permute; pads to a multiple of depth internally and remembers nothing —
+  /// deinterleave() must be called with the same length.
+  BitVec interleave(const BitVec& bits) const;
+  BitVec deinterleave(const BitVec& bits) const;
+  std::size_t depth() const { return depth_; }
+
+ private:
+  std::size_t depth_;
+};
+
+}  // namespace semcache::channel

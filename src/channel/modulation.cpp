@@ -1,0 +1,128 @@
+#include "channel/modulation.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace semcache::channel {
+
+namespace {
+// Gray-coded 4-PAM levels for 16-QAM, normalized below. Index = 2 bits.
+constexpr std::array<double, 4> kPam4 = {-3.0, -1.0, 1.0, 3.0};
+
+// Map 2 bits (Gray) -> PAM index: 00->-3, 01->-1, 11->+1, 10->+3.
+std::size_t gray_to_index(std::uint8_t b0, std::uint8_t b1) {
+  const std::uint8_t g = static_cast<std::uint8_t>((b0 << 1) | b1);
+  switch (g) {
+    case 0b00: return 0;
+    case 0b01: return 1;
+    case 0b11: return 2;
+    default: return 3;  // 0b10
+  }
+}
+
+void index_to_gray(std::size_t idx, std::uint8_t& b0, std::uint8_t& b1) {
+  static constexpr std::array<std::uint8_t, 4> kGray = {0b00, 0b01, 0b11,
+                                                        0b10};
+  b0 = static_cast<std::uint8_t>((kGray[idx] >> 1) & 1);
+  b1 = static_cast<std::uint8_t>(kGray[idx] & 1);
+}
+
+// 16-QAM normalization: E[|s|^2] for +-1,+-3 square grid is 10.
+const double kQam16Scale = 1.0 / std::sqrt(10.0);
+const double kQpskScale = 1.0 / std::sqrt(2.0);
+}  // namespace
+
+std::size_t bits_per_symbol(Modulation m) {
+  switch (m) {
+    case Modulation::kBpsk: return 1;
+    case Modulation::kQpsk: return 2;
+    case Modulation::kQam16: return 4;
+  }
+  SEMCACHE_CHECK(false, "unknown modulation");
+  return 0;
+}
+
+std::string modulation_name(Modulation m) {
+  switch (m) {
+    case Modulation::kBpsk: return "bpsk";
+    case Modulation::kQpsk: return "qpsk";
+    case Modulation::kQam16: return "16qam";
+  }
+  return "?";
+}
+
+std::vector<Symbol> modulate(const BitVec& bits, Modulation m) {
+  const std::size_t bps = bits_per_symbol(m);
+  BitVec padded = bits;
+  while (padded.size() % bps != 0) padded.push_back(0);
+  std::vector<Symbol> out;
+  out.reserve(padded.size() / bps);
+  for (std::size_t i = 0; i < padded.size(); i += bps) {
+    switch (m) {
+      case Modulation::kBpsk:
+        out.emplace_back(padded[i] ? 1.0 : -1.0, 0.0);
+        break;
+      case Modulation::kQpsk:
+        out.emplace_back((padded[i] ? 1.0 : -1.0) * kQpskScale,
+                         (padded[i + 1] ? 1.0 : -1.0) * kQpskScale);
+        break;
+      case Modulation::kQam16: {
+        const std::size_t ii = gray_to_index(padded[i], padded[i + 1]);
+        const std::size_t qi = gray_to_index(padded[i + 2], padded[i + 3]);
+        out.emplace_back(kPam4[ii] * kQam16Scale, kPam4[qi] * kQam16Scale);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+std::size_t nearest_pam(double v) {
+  std::size_t best = 0;
+  double best_d = std::abs(v - kPam4[0]);
+  for (std::size_t i = 1; i < kPam4.size(); ++i) {
+    const double d = std::abs(v - kPam4[i]);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+}  // namespace
+
+BitVec demodulate(const std::vector<Symbol>& symbols, Modulation m,
+                  std::size_t bit_count) {
+  BitVec out;
+  out.reserve(symbols.size() * bits_per_symbol(m));
+  for (const Symbol& s : symbols) {
+    switch (m) {
+      case Modulation::kBpsk:
+        out.push_back(s.real() >= 0.0 ? 1 : 0);
+        break;
+      case Modulation::kQpsk:
+        out.push_back(s.real() >= 0.0 ? 1 : 0);
+        out.push_back(s.imag() >= 0.0 ? 1 : 0);
+        break;
+      case Modulation::kQam16: {
+        std::uint8_t b0, b1;
+        index_to_gray(nearest_pam(s.real() / kQam16Scale), b0, b1);
+        out.push_back(b0);
+        out.push_back(b1);
+        index_to_gray(nearest_pam(s.imag() / kQam16Scale), b0, b1);
+        out.push_back(b0);
+        out.push_back(b1);
+        break;
+      }
+    }
+  }
+  SEMCACHE_CHECK(out.size() >= bit_count,
+                 "demodulate: fewer symbols than expected bits");
+  out.resize(bit_count);
+  return out;
+}
+
+}  // namespace semcache::channel

@@ -1,0 +1,29 @@
+// Digital modulation: bits -> unit-average-energy complex symbols and hard-
+// decision demodulation. BPSK and QPSK use antipodal/Gray mapping; 16-QAM
+// uses a Gray-coded square constellation.
+#pragma once
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "common/bits.hpp"
+
+namespace semcache::channel {
+
+using Symbol = std::complex<double>;
+
+enum class Modulation { kBpsk, kQpsk, kQam16 };
+
+/// Bits carried per symbol (1, 2, 4).
+std::size_t bits_per_symbol(Modulation m);
+std::string modulation_name(Modulation m);
+
+/// Map bits to symbols; pads with zero bits to a full symbol.
+std::vector<Symbol> modulate(const BitVec& bits, Modulation m);
+
+/// Hard-decision demap; returns exactly `bit_count` bits.
+BitVec demodulate(const std::vector<Symbol>& symbols, Modulation m,
+                  std::size_t bit_count);
+
+}  // namespace semcache::channel

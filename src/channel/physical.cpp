@@ -1,0 +1,101 @@
+#include "channel/physical.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace semcache::channel {
+
+namespace {
+double snr_db_to_linear(double snr_db) { return std::pow(10.0, snr_db / 10.0); }
+
+/// Per-dimension noise stddev for unit-energy symbols at Es/N0 = snr.
+double noise_sigma(double snr_db) {
+  return std::sqrt(1.0 / (2.0 * snr_db_to_linear(snr_db)));
+}
+}  // namespace
+
+AwgnChannel::AwgnChannel(double snr_db)
+    : snr_db_(snr_db), sigma_(noise_sigma(snr_db)) {}
+
+void AwgnChannel::apply(std::vector<Symbol>& symbols, Rng& rng) {
+  for (Symbol& s : symbols) {
+    s += Symbol(rng.gaussian(0.0, sigma_), rng.gaussian(0.0, sigma_));
+  }
+}
+
+std::string AwgnChannel::name() const {
+  std::ostringstream os;
+  os << "awgn(" << snr_db_ << "dB)";
+  return os.str();
+}
+
+RayleighChannel::RayleighChannel(double snr_db, std::size_t block_len)
+    : snr_db_(snr_db), sigma_(noise_sigma(snr_db)), block_len_(block_len) {
+  SEMCACHE_CHECK(block_len >= 1, "rayleigh: block_len must be >= 1");
+}
+
+void RayleighChannel::apply(std::vector<Symbol>& symbols, Rng& rng) {
+  for (std::size_t start = 0; start < symbols.size(); start += block_len_) {
+    // h ~ CN(0, 1): real/imag each N(0, 1/2).
+    const Symbol h(rng.gaussian(0.0, std::sqrt(0.5)),
+                   rng.gaussian(0.0, std::sqrt(0.5)));
+    // Guard against pathological zero fades (equalizer would blow up).
+    const Symbol h_safe = std::abs(h) < 1e-6 ? Symbol(1e-6, 0.0) : h;
+    const std::size_t end = std::min(start + block_len_, symbols.size());
+    for (std::size_t i = start; i < end; ++i) {
+      Symbol y = h_safe * symbols[i];
+      y += Symbol(rng.gaussian(0.0, sigma_), rng.gaussian(0.0, sigma_));
+      symbols[i] = y / h_safe;  // perfect-CSI zero-forcing equalizer
+    }
+  }
+}
+
+std::string RayleighChannel::name() const {
+  std::ostringstream os;
+  os << "rayleigh(" << snr_db_ << "dB,b" << block_len_ << ")";
+  return os.str();
+}
+
+BscChannel::BscChannel(double flip_probability) : p_(flip_probability) {
+  SEMCACHE_CHECK(p_ >= 0.0 && p_ <= 0.5,
+                 "bsc: flip probability must be in [0, 0.5]");
+}
+
+BitVec BscChannel::transmit(const BitVec& bits, Rng& rng) {
+  BitVec out = bits;
+  for (std::uint8_t& b : out) {
+    if (rng.bernoulli(p_)) b ^= 1;
+  }
+  return out;
+}
+
+std::string BscChannel::name() const {
+  std::ostringstream os;
+  os << "bsc(" << p_ << ")";
+  return os.str();
+}
+
+ModulatedChannel::ModulatedChannel(Modulation m,
+                                   std::unique_ptr<SymbolChannel> channel)
+    : mod_(m), channel_(std::move(channel)) {
+  SEMCACHE_CHECK(channel_ != nullptr, "modulated channel: null symbol channel");
+}
+
+BitVec ModulatedChannel::transmit(const BitVec& bits, Rng& rng) {
+  std::vector<Symbol> symbols = modulate(bits, mod_);
+  channel_->apply(symbols, rng);
+  return demodulate(symbols, mod_, bits.size());
+}
+
+std::string ModulatedChannel::name() const {
+  return modulation_name(mod_) + "/" + channel_->name();
+}
+
+double bpsk_awgn_ber(double snr_db) {
+  const double snr = snr_db_to_linear(snr_db);
+  return 0.5 * std::erfc(std::sqrt(snr));  // Q(sqrt(2x)) = erfc(sqrt(x))/2
+}
+
+}  // namespace semcache::channel

@@ -1,0 +1,95 @@
+// Physical channel models. Two abstraction levels:
+//  * SymbolChannel distorts complex symbols (AWGN, Rayleigh block fading);
+//  * BitChannel maps bits to bits — either directly (BSC) or by wrapping a
+//    modulation + SymbolChannel pair (ModulatedChannel).
+// The channel pipeline (pipeline.hpp) only talks to BitChannel.
+#pragma once
+
+#include <memory>
+
+#include "channel/modulation.hpp"
+#include "common/rng.hpp"
+
+namespace semcache::channel {
+
+class SymbolChannel {
+ public:
+  virtual ~SymbolChannel() = default;
+  SymbolChannel() = default;
+  SymbolChannel(const SymbolChannel&) = delete;
+  SymbolChannel& operator=(const SymbolChannel&) = delete;
+
+  /// Distort symbols in place.
+  virtual void apply(std::vector<Symbol>& symbols, Rng& rng) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Complex additive white Gaussian noise at a given Es/N0.
+class AwgnChannel final : public SymbolChannel {
+ public:
+  explicit AwgnChannel(double snr_db);
+  void apply(std::vector<Symbol>& symbols, Rng& rng) override;
+  std::string name() const override;
+  double snr_db() const { return snr_db_; }
+
+ private:
+  double snr_db_;
+  double sigma_;  // per-dimension noise stddev
+};
+
+/// Block Rayleigh fading with perfect channel state information at the
+/// receiver: per block of `block_len` symbols, y = h x + n, equalized by
+/// 1/h (noise enhancement during deep fades is what the interleaver + code
+/// must fight — E8).
+class RayleighChannel final : public SymbolChannel {
+ public:
+  RayleighChannel(double snr_db, std::size_t block_len = 32);
+  void apply(std::vector<Symbol>& symbols, Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  double snr_db_;
+  double sigma_;
+  std::size_t block_len_;
+};
+
+class BitChannel {
+ public:
+  virtual ~BitChannel() = default;
+  BitChannel() = default;
+  BitChannel(const BitChannel&) = delete;
+  BitChannel& operator=(const BitChannel&) = delete;
+
+  virtual BitVec transmit(const BitVec& bits, Rng& rng) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Binary symmetric channel: each bit flips independently with probability p.
+class BscChannel final : public BitChannel {
+ public:
+  explicit BscChannel(double flip_probability);
+  BitVec transmit(const BitVec& bits, Rng& rng) override;
+  std::string name() const override;
+  double flip_probability() const { return p_; }
+
+ private:
+  double p_;
+};
+
+/// Modulate -> symbol channel -> demodulate.
+class ModulatedChannel final : public BitChannel {
+ public:
+  ModulatedChannel(Modulation m, std::unique_ptr<SymbolChannel> channel);
+  BitVec transmit(const BitVec& bits, Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  Modulation mod_;
+  std::unique_ptr<SymbolChannel> channel_;
+};
+
+/// Theoretical BPSK-over-AWGN bit error rate, Q(sqrt(2*Es/N0)). Used by the
+/// property tests to validate the noise model.
+double bpsk_awgn_ber(double snr_db);
+
+}  // namespace semcache::channel

@@ -1,0 +1,75 @@
+#include "channel/pipeline.hpp"
+
+#include "channel/convolutional.hpp"
+#include "channel/hamming.hpp"
+#include "channel/repetition.hpp"
+#include "common/check.hpp"
+
+namespace semcache::channel {
+
+ChannelPipeline::ChannelPipeline(std::unique_ptr<ChannelCode> code,
+                                 std::unique_ptr<BitChannel> channel,
+                                 std::size_t interleave_depth)
+    : code_(std::move(code)),
+      channel_(std::move(channel)),
+      interleaver_(interleave_depth) {
+  SEMCACHE_CHECK(code_ != nullptr, "pipeline: null code");
+  SEMCACHE_CHECK(channel_ != nullptr, "pipeline: null channel");
+}
+
+BitVec ChannelPipeline::transmit(const BitVec& payload, Rng& rng) {
+  const BitVec coded = code_->encode(payload);
+  const BitVec sent = interleaver_.interleave(coded);
+  const BitVec received = channel_->transmit(sent, rng);
+  BitVec deinterleaved = interleaver_.deinterleave(received);
+  deinterleaved.resize(coded.size());  // drop interleaver padding
+  BitVec decoded = code_->decode(deinterleaved);
+  SEMCACHE_CHECK(decoded.size() >= payload.size(),
+                 "pipeline: decoder returned too few bits");
+  decoded.resize(payload.size());
+
+  stats_.payload_bits += payload.size();
+  stats_.airtime_bits += sent.size();
+  stats_.messages += 1;
+  return decoded;
+}
+
+std::string ChannelPipeline::description() const {
+  return code_->name() + "+" + channel_->name();
+}
+
+std::unique_ptr<ChannelCode> make_code(const std::string& name) {
+  if (name == "uncoded") return std::make_unique<IdentityCode>();
+  if (name == "rep3") return std::make_unique<RepetitionCode>(3);
+  if (name == "rep5") return std::make_unique<RepetitionCode>(5);
+  if (name == "hamming74") return std::make_unique<HammingCode>();
+  if (name == "conv_k3_r12") return std::make_unique<ConvolutionalCode>();
+  SEMCACHE_CHECK(false, "unknown channel code: " + name);
+  return nullptr;
+}
+
+std::unique_ptr<ChannelPipeline> make_awgn_pipeline(
+    std::unique_ptr<ChannelCode> code, Modulation mod, double snr_db,
+    std::size_t interleave_depth) {
+  auto channel = std::make_unique<ModulatedChannel>(
+      mod, std::make_unique<AwgnChannel>(snr_db));
+  return std::make_unique<ChannelPipeline>(std::move(code), std::move(channel),
+                                           interleave_depth);
+}
+
+std::unique_ptr<ChannelPipeline> make_bsc_pipeline(
+    std::unique_ptr<ChannelCode> code, double flip_probability) {
+  return std::make_unique<ChannelPipeline>(
+      std::move(code), std::make_unique<BscChannel>(flip_probability), 1);
+}
+
+std::unique_ptr<ChannelPipeline> make_rayleigh_pipeline(
+    std::unique_ptr<ChannelCode> code, Modulation mod, double snr_db,
+    std::size_t fade_block_len, std::size_t interleave_depth) {
+  auto channel = std::make_unique<ModulatedChannel>(
+      mod, std::make_unique<RayleighChannel>(snr_db, fade_block_len));
+  return std::make_unique<ChannelPipeline>(std::move(code), std::move(channel),
+                                           interleave_depth);
+}
+
+}  // namespace semcache::channel

@@ -1,0 +1,57 @@
+// End-to-end bit transport: channel code + interleaver + physical channel.
+// This is the "Channel encoding -> Physical channel -> Channel decoding"
+// segment of the paper's workflow; both semantic payloads (quantized
+// features) and traditional payloads (compressed text bits) ride on it.
+#pragma once
+
+#include <memory>
+
+#include "channel/code.hpp"
+#include "channel/interleaver.hpp"
+#include "channel/physical.hpp"
+
+namespace semcache::channel {
+
+struct PipelineStats {
+  std::size_t payload_bits = 0;   ///< information bits handed in
+  std::size_t airtime_bits = 0;   ///< coded bits actually on the channel
+  std::size_t messages = 0;
+};
+
+class ChannelPipeline {
+ public:
+  ChannelPipeline(std::unique_ptr<ChannelCode> code,
+                  std::unique_ptr<BitChannel> channel,
+                  std::size_t interleave_depth = 1);
+
+  /// Transmit payload bits; returns the receiver's reconstruction, trimmed
+  /// to the payload length.
+  BitVec transmit(const BitVec& payload, Rng& rng);
+
+  const PipelineStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+  const ChannelCode& code() const { return *code_; }
+  std::string description() const;
+
+ private:
+  std::unique_ptr<ChannelCode> code_;
+  std::unique_ptr<BitChannel> channel_;
+  BlockInterleaver interleaver_;
+  PipelineStats stats_;
+};
+
+/// Channel-code factory: "uncoded" | "rep3" | "rep5" | "hamming74" |
+/// "conv_k3_r12".
+std::unique_ptr<ChannelCode> make_code(const std::string& name);
+
+/// Convenience factories for the standard experiment configurations.
+std::unique_ptr<ChannelPipeline> make_awgn_pipeline(
+    std::unique_ptr<ChannelCode> code, Modulation mod, double snr_db,
+    std::size_t interleave_depth = 1);
+std::unique_ptr<ChannelPipeline> make_bsc_pipeline(
+    std::unique_ptr<ChannelCode> code, double flip_probability);
+std::unique_ptr<ChannelPipeline> make_rayleigh_pipeline(
+    std::unique_ptr<ChannelCode> code, Modulation mod, double snr_db,
+    std::size_t fade_block_len, std::size_t interleave_depth);
+
+}  // namespace semcache::channel

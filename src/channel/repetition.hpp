@@ -1,0 +1,25 @@
+// Repetition code with majority-vote decoding.
+#pragma once
+
+#include "channel/code.hpp"
+
+namespace semcache::channel {
+
+class RepetitionCode final : public ChannelCode {
+ public:
+  /// `repeats` must be odd so majority vote is unambiguous.
+  explicit RepetitionCode(std::size_t repeats);
+
+  BitVec encode(const BitVec& info) const override;
+  BitVec decode(const BitVec& coded) const override;
+  std::size_t encoded_length(std::size_t info_bits) const override;
+  double rate() const override { return 1.0 / static_cast<double>(repeats_); }
+  std::string name() const override {
+    return "repetition" + std::to_string(repeats_);
+  }
+
+ private:
+  std::size_t repeats_;
+};
+
+}  // namespace semcache::channel

@@ -1,0 +1,57 @@
+#include "common/bits.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace semcache {
+
+BitVec bytes_to_bits(std::span<const std::uint8_t> bytes) {
+  BitVec bits;
+  bits.reserve(bytes.size() * 8);
+  for (const std::uint8_t b : bytes) {
+    for (int i = 0; i < 8; ++i) {
+      bits.push_back(static_cast<std::uint8_t>((b >> i) & 1));
+    }
+  }
+  return bits;
+}
+
+std::vector<std::uint8_t> bits_to_bytes(const BitVec& bits) {
+  std::vector<std::uint8_t> bytes((bits.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    SEMCACHE_CHECK(bits[i] <= 1, "bits_to_bytes: element is not 0/1");
+    if (bits[i]) bytes[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  }
+  return bytes;
+}
+
+std::size_t hamming_distance(const BitVec& a, const BitVec& b) {
+  const std::size_t overlap = std::min(a.size(), b.size());
+  std::size_t d = std::max(a.size(), b.size()) - overlap;
+  for (std::size_t i = 0; i < overlap; ++i) {
+    if (a[i] != b[i]) ++d;
+  }
+  return d;
+}
+
+void append_bits(BitVec& bits, std::uint64_t value, std::size_t count) {
+  SEMCACHE_CHECK(count <= 64, "append_bits: count must be <= 64");
+  for (std::size_t i = 0; i < count; ++i) {
+    bits.push_back(static_cast<std::uint8_t>((value >> i) & 1));
+  }
+}
+
+std::uint64_t read_bits(const BitVec& bits, std::size_t& pos,
+                        std::size_t count) {
+  SEMCACHE_CHECK(count <= 64, "read_bits: count must be <= 64");
+  SEMCACHE_CHECK(pos + count <= bits.size(), "read_bits: out of range");
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    v |= static_cast<std::uint64_t>(bits[pos + i] & 1) << i;
+  }
+  pos += count;
+  return v;
+}
+
+}  // namespace semcache

@@ -1,0 +1,33 @@
+// Bit-vector helpers shared by the feature quantizer and the channel stack.
+// A BitVec stores one bit per element (value 0 or 1) — wasteful in memory
+// but unambiguous, which matters when splicing coded blocks, interleavers,
+// and modulation symbol groups together.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace semcache {
+
+using BitVec = std::vector<std::uint8_t>;  // each element is 0 or 1
+
+/// LSB-first expansion of bytes into bits.
+BitVec bytes_to_bits(std::span<const std::uint8_t> bytes);
+
+/// Inverse of bytes_to_bits; the bit count is padded with zeros to a
+/// multiple of 8.
+std::vector<std::uint8_t> bits_to_bytes(const BitVec& bits);
+
+/// Number of positions where the two vectors differ (they may have
+/// different lengths; extra positions count as errors).
+std::size_t hamming_distance(const BitVec& a, const BitVec& b);
+
+/// Append `count` bits of `value`, LSB first.
+void append_bits(BitVec& bits, std::uint64_t value, std::size_t count);
+
+/// Read `count` bits starting at `pos` (LSB first); advances pos.
+std::uint64_t read_bits(const BitVec& bits, std::size_t& pos,
+                        std::size_t count);
+
+}  // namespace semcache

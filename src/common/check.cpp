@@ -1,0 +1,15 @@
+#include "common/check.hpp"
+
+#include <sstream>
+
+namespace semcache::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream os;
+  os << "SEMCACHE_CHECK failed: (" << expr << ") at " << file << ":" << line
+     << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace semcache::detail

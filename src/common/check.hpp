@@ -1,0 +1,36 @@
+// Always-on contract checking and the library-wide error type.
+//
+// Per C++ Core Guidelines E.2/I.6 we signal contract violations at public API
+// boundaries with exceptions carrying a formatted message; checks stay
+// enabled in release builds because every caller of this library is either a
+// test, a bench, or a simulation driver where silent corruption is worse
+// than the branch cost.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace semcache {
+
+/// Root exception for all semcache-reported failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+/// SEMCACHE_CHECK(cond, "message") — throws semcache::Error when cond is
+/// false. `msg` may use string concatenation; it is only evaluated on
+/// failure.
+#define SEMCACHE_CHECK(cond, msg)                                        \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::semcache::detail::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                    \
+  } while (false)
+
+}  // namespace semcache

@@ -1,0 +1,58 @@
+// Deterministic random number generation.
+//
+// All randomness in the library flows through Rng so that every experiment,
+// test, and benchmark is reproducible from a single 64-bit seed. Substreams
+// are derived with splitmix64 so that independent components (corpus
+// generation, channel noise, weight init, ...) do not share state.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace semcache {
+
+/// splitmix64 step; used both as a seeding mixer and for cheap hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Deterministic RNG wrapping mt19937_64 with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Derive an independent child stream; deterministic in (seed, tag).
+  Rng fork(std::uint64_t tag) const;
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal draw.
+  double gaussian();
+  /// Normal draw with given mean/stddev.
+  double gaussian(double mean, double stddev);
+  /// Bernoulli draw with success probability p.
+  bool bernoulli(double p);
+  /// Index draw from unnormalized non-negative weights.
+  std::size_t categorical(const std::vector<double>& weights);
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  std::uint64_t seed() const { return seed_; }
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::uint64_t seed_;
+  std::mt19937_64 engine_;
+};
+
+}  // namespace semcache

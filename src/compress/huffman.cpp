@@ -1,0 +1,168 @@
+#include "compress/huffman.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/check.hpp"
+
+namespace semcache::compress {
+
+ByteHistogram histogram(std::span<const std::uint8_t> data) {
+  ByteHistogram h{};
+  for (const std::uint8_t b : data) ++h[b];
+  return h;
+}
+
+namespace {
+struct Node {
+  std::uint64_t weight;
+  std::int32_t symbol;  // -1 for internal
+  std::int32_t left = -1, right = -1;
+};
+}  // namespace
+
+HuffmanCode HuffmanCode::build(const ByteHistogram& hist) {
+  // Laplace-smooth so every symbol is encodable.
+  std::vector<Node> nodes;
+  nodes.reserve(512);
+  using Item = std::pair<std::uint64_t, std::int32_t>;  // (weight, node idx)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  for (int s = 0; s < 256; ++s) {
+    nodes.push_back({hist[static_cast<std::size_t>(s)] + 1, s});
+    heap.emplace(nodes.back().weight, static_cast<std::int32_t>(nodes.size()) - 1);
+  }
+  while (heap.size() > 1) {
+    const auto [wa, a] = heap.top();
+    heap.pop();
+    const auto [wb, b] = heap.top();
+    heap.pop();
+    nodes.push_back({wa + wb, -1, a, b});
+    heap.emplace(wa + wb, static_cast<std::int32_t>(nodes.size()) - 1);
+  }
+
+  // Walk the tree to assign code lengths, then build canonical codes.
+  HuffmanCode hc;
+  std::vector<std::pair<std::int32_t, std::uint8_t>> stack;  // (node, depth)
+  stack.emplace_back(static_cast<std::int32_t>(nodes.size()) - 1, 0);
+  while (!stack.empty()) {
+    const auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& n = nodes[static_cast<std::size_t>(idx)];
+    if (n.symbol >= 0) {
+      hc.length_[static_cast<std::size_t>(n.symbol)] =
+          std::max<std::uint8_t>(depth, 1);
+      continue;
+    }
+    stack.emplace_back(n.left, static_cast<std::uint8_t>(depth + 1));
+    stack.emplace_back(n.right, static_cast<std::uint8_t>(depth + 1));
+  }
+
+  // Canonical assignment: sort by (length, symbol).
+  std::vector<int> order(256);
+  for (int s = 0; s < 256; ++s) order[static_cast<std::size_t>(s)] = s;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto la = hc.length_[static_cast<std::size_t>(a)];
+    const auto lb = hc.length_[static_cast<std::size_t>(b)];
+    return la != lb ? la < lb : a < b;
+  });
+  std::uint32_t code = 0;
+  std::uint8_t prev_len = 0;
+  for (const int s : order) {
+    const std::uint8_t len = hc.length_[static_cast<std::size_t>(s)];
+    code <<= (len - prev_len);
+    hc.code_[static_cast<std::size_t>(s)] = code;
+    prev_len = len;
+    ++code;
+  }
+
+  // Build the decode trie. Codes are transmitted MSB-first: canonical codes
+  // are prefix-free in that orientation only (a reversed prefix-free code
+  // is generally NOT prefix-free).
+  hc.trie_.push_back({-1, -1});
+  for (int s = 0; s < 256; ++s) {
+    const std::uint8_t len = hc.length_[static_cast<std::size_t>(s)];
+    const std::uint32_t bits = hc.code_[static_cast<std::size_t>(s)];
+    std::int32_t node = 0;
+    for (std::uint8_t i = 0; i < len; ++i) {
+      const std::size_t branch = (bits >> (len - 1 - i)) & 1u;
+      if (i + 1 == len) {
+        // Final bit: the edge carries the symbol itself.
+        hc.trie_[static_cast<std::size_t>(node)][branch] = s | kLeafFlag;
+        break;
+      }
+      std::int32_t next = hc.trie_[static_cast<std::size_t>(node)][branch];
+      if (next == -1) {
+        hc.trie_.push_back({-1, -1});
+        next = static_cast<std::int32_t>(hc.trie_.size()) - 1;
+        hc.trie_[static_cast<std::size_t>(node)][branch] = next;
+      }
+      node = next;
+    }
+  }
+  return hc;
+}
+
+BitVec HuffmanCode::encode(std::span<const std::uint8_t> data) const {
+  BitVec out;
+  for (const std::uint8_t b : data) {
+    const std::uint8_t len = length_[b];
+    const std::uint32_t code = code_[b];
+    for (std::uint8_t i = 0; i < len; ++i) {  // MSB-first
+      out.push_back(static_cast<std::uint8_t>((code >> (len - 1 - i)) & 1u));
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> HuffmanCode::decode(const BitVec& bits,
+                                              std::size_t symbol_count) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(symbol_count);
+  std::size_t pos = 0;
+  std::int32_t node = 0;
+  while (out.size() < symbol_count && pos < bits.size()) {
+    node = trie_[static_cast<std::size_t>(node)][bits[pos] & 1];
+    ++pos;
+    SEMCACHE_CHECK(node != -1, "huffman: invalid bit stream");
+    if (node & kLeafFlag) {
+      out.push_back(static_cast<std::uint8_t>(node & 0xFF));
+      node = 0;
+    }
+  }
+  // On a noisy channel the stream may end mid-code or run short; pad so the
+  // caller always gets symbol_count bytes (corrupted tail, like real life).
+  out.resize(symbol_count, 0);
+  return out;
+}
+
+double HuffmanCode::expected_length(const ByteHistogram& hist) const {
+  std::uint64_t total = 0;
+  for (const auto c : hist) total += c;
+  if (total == 0) return 0.0;
+  double bits = 0.0;
+  for (int s = 0; s < 256; ++s) {
+    bits += static_cast<double>(hist[static_cast<std::size_t>(s)]) *
+            length_[static_cast<std::size_t>(s)];
+  }
+  return bits / static_cast<double>(total);
+}
+
+std::size_t HuffmanCode::code_length(std::uint8_t symbol) const {
+  return length_[symbol];
+}
+
+double entropy_bits(const ByteHistogram& hist) {
+  std::uint64_t total = 0;
+  for (const auto c : hist) total += c;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (const auto c : hist) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace semcache::compress

@@ -1,0 +1,50 @@
+// Canonical Huffman coding over bytes. This is the source coder of the
+// TRADITIONAL communication baseline (E1): text is serialized to bytes,
+// Huffman-compressed, and the resulting bits ride the same channel stack as
+// the semantic features. The code table is transmitted once out of band
+// (both ends share the corpus statistics), mirroring how the semantic
+// system's KB models are shared out of band.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bits.hpp"
+
+namespace semcache::compress {
+
+/// Byte-frequency histogram used to build a code.
+using ByteHistogram = std::array<std::uint64_t, 256>;
+
+ByteHistogram histogram(std::span<const std::uint8_t> data);
+
+class HuffmanCode {
+ public:
+  /// Build from a histogram; symbols with zero count still get codes (depth
+  /// capped implicitly by the canonical construction) so any byte stream is
+  /// encodable.
+  static HuffmanCode build(const ByteHistogram& hist);
+
+  BitVec encode(std::span<const std::uint8_t> data) const;
+  std::vector<std::uint8_t> decode(const BitVec& bits,
+                                   std::size_t symbol_count) const;
+
+  /// Expected bits/symbol under a distribution (for tests vs. entropy).
+  double expected_length(const ByteHistogram& hist) const;
+  std::size_t code_length(std::uint8_t symbol) const;
+
+ private:
+  std::array<std::uint32_t, 256> code_{};   // canonical code, MSB-first
+  std::array<std::uint8_t, 256> length_{};  // code lengths
+  // Decode via a flat trie: node pairs (left, right), -1 = absent,
+  // leaves store symbol | kLeafFlag.
+  static constexpr std::int32_t kLeafFlag = 1 << 30;
+  std::vector<std::array<std::int32_t, 2>> trie_;
+};
+
+/// Shannon entropy in bits/symbol of a histogram.
+double entropy_bits(const ByteHistogram& hist);
+
+}  // namespace semcache::compress

@@ -1,0 +1,84 @@
+#include "compress/lz77.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace semcache::compress {
+
+Lz77::Lz77(const Lz77Config& config) : config_(config) {
+  SEMCACHE_CHECK(config.window_bits >= 1 && config.window_bits <= 16,
+                 "lz77: window_bits must be in [1, 16]");
+  SEMCACHE_CHECK(config.length_bits >= 1 && config.length_bits <= 8,
+                 "lz77: length_bits must be in [1, 8]");
+  SEMCACHE_CHECK(config.min_match >= 2, "lz77: min_match must be >= 2");
+}
+
+BitVec Lz77::compress(std::span<const std::uint8_t> data) const {
+  const std::size_t window = 1u << config_.window_bits;
+  const std::size_t max_len =
+      config_.min_match + (1u << config_.length_bits) - 1;
+  BitVec out;
+  // Header: original size (32 bits).
+  append_bits(out, data.size(), 32);
+
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    // Greedy longest match in the window before pos.
+    std::size_t best_len = 0;
+    std::size_t best_off = 0;
+    const std::size_t start = pos > window ? pos - window : 0;
+    for (std::size_t cand = start; cand < pos; ++cand) {
+      std::size_t len = 0;
+      while (len < max_len && pos + len < data.size() &&
+             data[cand + len] == data[pos + len]) {
+        ++len;
+      }
+      if (len > best_len) {
+        best_len = len;
+        best_off = pos - cand;
+      }
+    }
+    if (best_len >= config_.min_match) {
+      out.push_back(1);
+      append_bits(out, best_off, config_.window_bits);
+      append_bits(out, best_len - config_.min_match, config_.length_bits);
+      pos += best_len;
+    } else {
+      out.push_back(0);
+      append_bits(out, data[pos], 8);
+      ++pos;
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Lz77::decompress(const BitVec& bits) const {
+  std::size_t pos = 0;
+  SEMCACHE_CHECK(bits.size() >= 32, "lz77: truncated header");
+  const auto size = static_cast<std::size_t>(read_bits(bits, pos, 32));
+  std::vector<std::uint8_t> out;
+  out.reserve(size);
+  while (out.size() < size && pos < bits.size()) {
+    const bool is_match = bits[pos++] != 0;
+    if (is_match) {
+      if (pos + config_.window_bits + config_.length_bits > bits.size()) break;
+      const auto off = static_cast<std::size_t>(
+          read_bits(bits, pos, config_.window_bits));
+      const auto len = static_cast<std::size_t>(
+                           read_bits(bits, pos, config_.length_bits)) +
+                       config_.min_match;
+      if (off == 0 || off > out.size()) break;  // corrupt stream
+      for (std::size_t i = 0; i < len && out.size() < size; ++i) {
+        out.push_back(out[out.size() - off]);
+      }
+    } else {
+      if (pos + 8 > bits.size()) break;
+      out.push_back(static_cast<std::uint8_t>(read_bits(bits, pos, 8)));
+    }
+  }
+  out.resize(size, 0);  // corrupted tail padding, as with Huffman
+  return out;
+}
+
+}  // namespace semcache::compress

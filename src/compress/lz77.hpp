@@ -1,0 +1,31 @@
+// Tiny LZ77 with a sliding window, for the traditional baseline's
+// dictionary-compression variant. Token stream: (flag, literal) or
+// (flag, offset, length) triples, bit-packed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bits.hpp"
+
+namespace semcache::compress {
+
+struct Lz77Config {
+  std::size_t window_bits = 11;  ///< offset field width (window = 2^bits)
+  std::size_t length_bits = 4;   ///< match length field width
+  std::size_t min_match = 3;     ///< shorter matches emit literals
+};
+
+class Lz77 {
+ public:
+  explicit Lz77(const Lz77Config& config = {});
+
+  BitVec compress(std::span<const std::uint8_t> data) const;
+  std::vector<std::uint8_t> decompress(const BitVec& bits) const;
+
+ private:
+  Lz77Config config_;
+};
+
+}  // namespace semcache::compress

@@ -1,0 +1,64 @@
+// Per-edge-server state of the semantic caching model (Fig. 1):
+//  ① a byte-capacity cache of domain-specialized general models — each
+//    cached entry holds the encoder AND the decoder copy (§II-C);
+//  ② user-specific individual model slots, one per (user, domain), each
+//    with its transaction buffer b^m (③) and replica version bookkeeping.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cache/cache.hpp"
+#include "edge/node.hpp"
+#include "fl/buffer.hpp"
+#include "fl/sync.hpp"
+#include "semantic/codec.hpp"
+
+namespace semcache::core {
+
+/// A user-domain-specialized model slot. At the SENDER edge the full codec
+/// (encoder + decoder copy) lives here; at the RECEIVER edge only the
+/// decoder half is consulted, kept in sync by gradient messages.
+struct UserModelSlot {
+  std::unique_ptr<semantic::SemanticCodec> model;
+  std::unique_ptr<fl::DomainBuffer> buffer;   // sender side only
+  std::uint64_t send_version = 0;             // sender: last version produced
+  fl::VersionVector recv_version;             // receiver: applied updates
+  std::size_t updates_applied = 0;
+};
+
+class EdgeServerState {
+ public:
+  EdgeServerState(std::size_t index, edge::NodeId node,
+                  std::size_t cache_capacity_bytes,
+                  const std::string& cache_policy);
+
+  std::size_t index() const { return index_; }
+  edge::NodeId node() const { return node_; }
+
+  cache::Cache<semantic::SemanticCodec>& general_cache() { return cache_; }
+
+  /// Slot lookup; nullptr when absent.
+  UserModelSlot* find_slot(const std::string& user, std::size_t domain);
+  /// Create-or-get; `make` is invoked only on creation.
+  UserModelSlot& ensure_slot(
+      const std::string& user, std::size_t domain,
+      const std::function<std::unique_ptr<semantic::SemanticCodec>()>& make);
+
+  std::size_t slots_established() const { return established_; }
+  std::size_t slot_count() const { return slots_.size(); }
+  /// Bytes held by user-specific models (not general-cache bytes).
+  std::size_t user_model_bytes() const;
+
+ private:
+  static std::string slot_key(const std::string& user, std::size_t domain);
+
+  std::size_t index_;
+  edge::NodeId node_;
+  cache::Cache<semantic::SemanticCodec> cache_;
+  std::map<std::string, UserModelSlot> slots_;
+  std::size_t established_ = 0;
+};
+
+}  // namespace semcache::core

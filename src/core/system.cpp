@@ -1,0 +1,195 @@
+#include "core/system.hpp"
+
+#include "common/check.hpp"
+#include "select/context.hpp"
+#include "select/naive_bayes.hpp"
+
+namespace semcache::core {
+
+SemanticEdgeSystem::SemanticEdgeSystem(SystemConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      world_(text::World::generate(config_.world, rng_)) {}
+
+std::unique_ptr<SemanticEdgeSystem> SemanticEdgeSystem::build(
+    SystemConfig config) {
+  // Not make_unique: the constructor is private.
+  std::unique_ptr<SemanticEdgeSystem> sys(
+      new SemanticEdgeSystem(std::move(config)));
+  sys->config_.codec.surface_vocab = sys->world_.surface_count();
+  sys->config_.codec.meaning_vocab = sys->world_.meaning_count();
+  sys->config_.codec.sentence_length = sys->config_.world.sentence_length;
+  sys->quantizer_ = std::make_unique<semantic::FeatureQuantizer>(
+      sys->config_.codec.feature_dim, sys->config_.feature_bits);
+  if (sys->config_.pretrain.feature_noise == 0.0) {
+    // Quantization-aware training: match the quantizer's half-step error.
+    sys->config_.pretrain.feature_noise = sys->quantizer_->max_error() / 2.0;
+  }
+  sys->synchronizer_ =
+      std::make_unique<fl::ModelSynchronizer>(sys->config_.sync_compression);
+
+  const ChannelConfig& ch = sys->config_.channel;
+  sys->pipeline_ = channel::make_awgn_pipeline(
+      channel::make_code(ch.code), ch.modulation, ch.snr_db,
+      ch.interleave_depth);
+
+  sys->pretrain_models();
+  sys->build_topology();
+  return sys;
+}
+
+void SemanticEdgeSystem::pretrain_models() {
+  // One general codec per domain (§II-A). All edge servers share the same
+  // pretrained weights, which is what makes d^m_j == d^m_i (§II-C) hold at
+  // bootstrap.
+  Rng train_rng = rng_.fork(0xC0DEC);
+  for (std::size_t d = 0; d < world_.num_domains(); ++d) {
+    Rng init_rng = rng_.fork(0x1000 + d);
+    auto codec =
+        std::make_shared<semantic::SemanticCodec>(config_.codec, init_rng);
+    semantic::CodecTrainer::pretrain_domain(*codec, world_, d,
+                                            config_.pretrain, train_rng);
+    general_models_.push_back(std::move(codec));
+  }
+
+  // Train the domain selector. "nb" is the stateless baseline; "context"
+  // wraps it in the §III-A conversation-context decorator. (E6 compares
+  // the full selector zoo including the GRU.)
+  auto nb = std::make_unique<select::NaiveBayesSelector>(
+      world_.surface_count(), world_.num_domains());
+  Rng sel_rng = rng_.fork(0x5E1EC7);
+  const std::size_t selector_examples = 400 * world_.num_domains();
+  for (std::size_t i = 0; i < selector_examples; ++i) {
+    const auto d = static_cast<std::size_t>(sel_rng.uniform_int(
+        0, static_cast<std::int64_t>(world_.num_domains()) - 1));
+    const text::Sentence s = world_.sample_sentence(d, sel_rng);
+    nb->observe(s.surface, d);
+  }
+  if (config_.selector == "context") {
+    selector_ = std::make_unique<select::ContextSelector>(
+        std::move(nb), world_.num_domains());
+  } else {
+    SEMCACHE_CHECK(config_.selector == "nb",
+                   "unknown selector '" + config_.selector +
+                       "' (expected \"nb\" or \"context\")");
+    selector_ = std::move(nb);
+  }
+}
+
+void SemanticEdgeSystem::build_topology() {
+  topology_ = edge::build_standard_topology(
+      config_.num_edges, config_.devices_per_edge, config_.topology);
+  for (std::size_t e = 0; e < config_.num_edges; ++e) {
+    edge_states_.push_back(std::make_unique<EdgeServerState>(
+        e, topology_.edges[e], config_.cache_capacity_bytes,
+        config_.cache_policy));
+    // Warm the cache with every general model (step ① of Fig. 1: the edge
+    // caches both general encoders and decoder copies — one codec object
+    // holds both halves).
+    for (std::size_t d = 0; d < world_.num_domains(); ++d) {
+      cache::EntryInfo info;
+      info.size_bytes = general_models_[d]->byte_size();
+      info.fetch_cost = topology_.net->link(topology_.cloud, topology_.edges[e])
+                            .transfer_time(info.size_bytes);
+      edge_states_.back()->general_cache().put(
+          "general/" + std::to_string(d), general_models_[d], info);
+    }
+  }
+}
+
+const UserProfile& SemanticEdgeSystem::register_user(
+    const std::string& name, std::size_t edge_index,
+    const text::IdiolectConfig* idiolect_cfg) {
+  SEMCACHE_CHECK(edge_index < config_.num_edges,
+                 "register_user: edge index out of range");
+  SEMCACHE_CHECK(!users_.contains(name), "register_user: duplicate user");
+  UserProfile profile;
+  profile.name = name;
+  profile.edge_index = edge_index;
+  auto& cursor = next_device_slot_[std::to_string(edge_index)];
+  SEMCACHE_CHECK(cursor < topology_.devices[edge_index].size(),
+                 "register_user: no free device on edge " +
+                     std::to_string(edge_index) +
+                     "; raise devices_per_edge");
+  profile.device = topology_.devices[edge_index][cursor++];
+  if (idiolect_cfg != nullptr) {
+    Rng idio_rng = rng_.fork(std::hash<std::string>{}(name));
+    profile.idiolect = std::make_unique<text::Idiolect>(
+        text::Idiolect::generate(world_, *idiolect_cfg, idio_rng));
+  }
+  auto [it, inserted] = users_.emplace(name, std::move(profile));
+  SEMCACHE_CHECK(inserted, "register_user: insert failed");
+  return it->second;
+}
+
+text::Sentence SemanticEdgeSystem::sample_message(const std::string& user,
+                                                  std::size_t domain) {
+  const UserProfile& profile = this->user(user);
+  text::Sentence s = world_.sample_sentence(domain, rng_);
+  if (profile.idiolect) profile.idiolect->apply(s);
+  return s;
+}
+
+EdgeServerState& SemanticEdgeSystem::edge_state(std::size_t index) {
+  SEMCACHE_CHECK(index < edge_states_.size(), "edge_state: out of range");
+  return *edge_states_[index];
+}
+
+const UserProfile& SemanticEdgeSystem::user(const std::string& name) const {
+  const auto it = users_.find(name);
+  SEMCACHE_CHECK(it != users_.end(), "unknown user: " + name);
+  return it->second;
+}
+
+semantic::SemanticCodec& SemanticEdgeSystem::general_model(
+    std::size_t domain) {
+  SEMCACHE_CHECK(domain < general_models_.size(),
+                 "general_model: domain out of range");
+  return *general_models_[domain];
+}
+
+std::unique_ptr<semantic::SemanticCodec> SemanticEdgeSystem::clone_general(
+    std::size_t domain) {
+  return general_model(domain).clone();
+}
+
+bool SemanticEdgeSystem::touch_general_cache(EdgeServerState& state,
+                                             std::size_t domain) {
+  const std::string key = "general/" + std::to_string(domain);
+  if (state.general_cache().get(key) != nullptr) return true;
+  // Miss: re-fetch from the cloud registry (charged on the cloud link) and
+  // reinstate the entry.
+  cache::EntryInfo info;
+  info.size_bytes = general_models_[domain]->byte_size();
+  edge::Link& cloud_link =
+      topology_.net->link(topology_.cloud, topology_.edges[state.index()]);
+  info.fetch_cost = cloud_link.transfer_time(info.size_bytes);
+  cloud_link.send(sim_, info.size_bytes, [] {});
+  state.general_cache().put(key, general_models_[domain], info);
+  return false;
+}
+
+bool SemanticEdgeSystem::replicas_in_sync(const std::string& user,
+                                          std::size_t domain,
+                                          std::size_t sender_edge,
+                                          std::size_t receiver_edge) {
+  UserModelSlot* s = edge_state(sender_edge).find_slot(user, domain);
+  UserModelSlot* r = edge_state(receiver_edge).find_slot(user, domain);
+  if (s == nullptr || r == nullptr) return false;
+  nn::ParameterSet sp = s->model->decoder().parameters();
+  nn::ParameterSet rp = r->model->decoder().parameters();
+  return sp.values_equal(rp);
+}
+
+TransmitReport SemanticEdgeSystem::transmit(const std::string& sender,
+                                            const std::string& receiver,
+                                            const text::Sentence& message) {
+  std::optional<TransmitReport> result;
+  transmit_async(sender, receiver, message,
+                 [&](TransmitReport r) { result = std::move(r); });
+  sim_.run();
+  SEMCACHE_CHECK(result.has_value(), "transmit: chain did not complete");
+  return std::move(*result);
+}
+
+}  // namespace semcache::core

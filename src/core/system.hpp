@@ -1,0 +1,206 @@
+// SemanticEdgeSystem — the paper's contribution, assembled.
+//
+// Owns the language world, the trained general KB models, the edge/cloud
+// topology, per-edge caches and user-model slots, the domain selector, the
+// channel stack, and the FL-style sync machinery. One call to transmit()
+// exercises the complete Fig. 1 workflow:
+//
+//   select model ─ encode (sender edge) ─ quantize ─ channel ─ decode
+//   (receiver edge, user-specific decoder replica) ─ deliver; meanwhile the
+//   sender's DECODER COPY measures the mismatch locally, buffers the
+//   transaction (③), and — once the buffer trips — fine-tunes the user
+//   model and ships the compressed decoder delta to the receiver edge (④).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "channel/pipeline.hpp"
+#include "core/edge_state.hpp"
+#include "edge/network.hpp"
+#include "fl/sync.hpp"
+#include "select/selector.hpp"
+#include "semantic/fidelity.hpp"
+#include "semantic/quantizer.hpp"
+#include "text/idiolect.hpp"
+
+namespace semcache::core {
+
+struct ChannelConfig {
+  std::string code = "hamming74";  ///< see channel::make_code
+  channel::Modulation modulation = channel::Modulation::kQpsk;
+  double snr_db = 10.0;
+  std::size_t interleave_depth = 8;
+};
+
+struct SystemConfig {
+  text::WorldConfig world;
+  // Codec dims; surface_vocab / meaning_vocab / sentence_length are filled
+  // in from the generated world.
+  semantic::CodecConfig codec;
+  semantic::TrainConfig pretrain{/*steps=*/4000, /*lr=*/3e-3, /*grad_clip=*/5.0};
+  unsigned feature_bits = 8;  ///< quantizer bits per feature dim
+
+  // Fig. 1 ③/④ machinery.
+  std::size_t buffer_trigger = 24;
+  std::size_t buffer_capacity = 256;
+  std::size_t finetune_epochs = 6;
+  double finetune_lr = 1.5e-3;
+  fl::CompressionConfig sync_compression{/*top_k_fraction=*/0.25, /*bits=*/8};
+
+  /// Ablation switch (§II-C): with the decoder copy disabled, mismatch
+  /// calculation requires shipping the receiver's decoded output back to
+  /// the sender (bytes + latency charged on the backbone).
+  bool decoder_copy_enabled = true;
+
+  /// Failure injection: probability a gradient-sync message is lost in
+  /// transit. A lost update opens a version gap at the receiver; the next
+  /// delivered update detects the gap and triggers a FULL decoder-state
+  /// resync (bytes charged), restoring replica byte-identity (§III-C
+  /// reliability).
+  double sync_loss_probability = 0.0;
+
+  /// Use the message's true domain instead of the selector (oracle mode,
+  /// isolates codec behaviour from selection errors).
+  bool oracle_selection = false;
+
+  /// Which selector the system trains at build time:
+  /// "nb" (stateless naive Bayes) or "context" (NB + EWMA/Markov context,
+  /// §III-A). Ignored under oracle_selection.
+  std::string selector = "nb";
+
+  // Edge deployment.
+  std::size_t num_edges = 2;
+  std::size_t devices_per_edge = 4;
+  edge::TopologyConfig topology;
+  std::size_t cache_capacity_bytes = 8u << 20;
+  std::string cache_policy = "lru";
+
+  ChannelConfig channel;
+  std::uint64_t seed = 42;
+};
+
+struct UserProfile {
+  std::string name;
+  std::size_t edge_index = 0;
+  edge::NodeId device = 0;
+  std::unique_ptr<text::Idiolect> idiolect;  ///< null = speaks plainly
+};
+
+/// Outcome of one end-to-end message.
+struct TransmitReport {
+  std::size_t domain_true = 0;
+  std::size_t domain_selected = 0;
+  bool selection_correct = true;
+  std::vector<std::int32_t> decoded_meanings;
+  double token_accuracy = 0.0;
+  bool exact = false;
+  double mismatch = 0.0;  ///< sender-side decoder-copy loss (③)
+
+  std::size_t payload_bytes = 0;   ///< quantized feature payload
+  std::size_t airtime_bits = 0;    ///< coded bits on the edge-edge channel
+  std::size_t sync_bytes = 0;      ///< gradient message, if an update fired
+  std::size_t output_return_bytes = 0;  ///< only when decoder copy disabled
+  bool triggered_update = false;
+  bool established_user_model = false;
+  bool general_cache_hit = true;
+
+  double latency_s = 0.0;  ///< arrival at receiver device minus send time
+};
+
+/// Aggregate accounting across a run.
+struct SystemStats {
+  std::size_t messages = 0;
+  std::uint64_t feature_bytes = 0;
+  std::uint64_t uplink_bytes = 0;
+  std::uint64_t downlink_bytes = 0;
+  std::uint64_t sync_bytes = 0;
+  std::uint64_t output_return_bytes = 0;
+  std::size_t updates = 0;
+  std::size_t selection_errors = 0;
+  std::size_t sync_drops = 0;       ///< injected gradient-message losses
+  std::size_t full_resyncs = 0;     ///< gap-triggered full-state recoveries
+  std::uint64_t resync_bytes = 0;   ///< bytes spent on full snapshots
+};
+
+class SemanticEdgeSystem {
+ public:
+  /// Generate the world, pretrain one general codec per domain, train the
+  /// selector, build the topology, and warm every edge cache.
+  static std::unique_ptr<SemanticEdgeSystem> build(SystemConfig config);
+
+  /// Register a user on an edge server; `idiolect_cfg` non-null gives the
+  /// user a private way of speaking (E3).
+  const UserProfile& register_user(const std::string& name,
+                                   std::size_t edge_index,
+                                   const text::IdiolectConfig* idiolect_cfg);
+
+  /// Sample a message as `user` would utter it (idiolect applied).
+  text::Sentence sample_message(const std::string& user, std::size_t domain);
+
+  /// Synchronous end-to-end transmission (runs the event loop to idle).
+  TransmitReport transmit(const std::string& sender,
+                          const std::string& receiver,
+                          const text::Sentence& message);
+
+  /// Event-driven variant for open-loop workloads (E7/E10): the report is
+  /// delivered to `on_done` when the message reaches the receiver device.
+  void transmit_async(const std::string& sender, const std::string& receiver,
+                      text::Sentence message,
+                      std::function<void(TransmitReport)> on_done);
+
+  // --- introspection used by tests, examples, and benches ---
+  text::World& world() { return world_; }
+  edge::Simulator& simulator() { return sim_; }
+  edge::Network& network() { return *topology_.net; }
+  EdgeServerState& edge_state(std::size_t index);
+  const SystemConfig& config() const { return config_; }
+  const SystemStats& stats() const { return stats_; }
+  const UserProfile& user(const std::string& name) const;
+  semantic::SemanticCodec& general_model(std::size_t domain);
+  select::DomainSelector& selector() { return *selector_; }
+  const semantic::FeatureQuantizer& quantizer() const { return *quantizer_; }
+
+  /// Byte-identity check between the sender-side decoder copy and the
+  /// receiver-side decoder replica for a (user, domain) pair.
+  bool replicas_in_sync(const std::string& user, std::size_t domain,
+                        std::size_t sender_edge, std::size_t receiver_edge);
+
+  /// Adjust the sync-loss injection rate mid-run (failure-injection tests).
+  void set_sync_loss_probability(double p);
+
+ private:
+  explicit SemanticEdgeSystem(SystemConfig config);
+  void pretrain_models();
+  void build_topology();
+  std::unique_ptr<semantic::SemanticCodec> clone_general(std::size_t domain);
+  /// Resolve the general model through the edge cache (charges a cloud
+  /// fetch on a miss); returns whether it was a hit.
+  bool touch_general_cache(EdgeServerState& state, std::size_t domain);
+  void run_update(const std::string& sender, std::size_t domain,
+                  EdgeServerState& sender_state, EdgeServerState& recv_state,
+                  TransmitReport& report);
+
+  SystemConfig config_;
+  Rng rng_;
+  text::World world_;
+  std::vector<std::shared_ptr<semantic::SemanticCodec>> general_models_;
+  std::unique_ptr<select::DomainSelector> selector_;
+  std::unique_ptr<semantic::FeatureQuantizer> quantizer_;
+  std::unique_ptr<channel::ChannelPipeline> pipeline_;
+  std::unique_ptr<fl::ModelSynchronizer> synchronizer_;
+
+  edge::Simulator sim_;
+  edge::StandardTopology topology_;
+  std::vector<std::unique_ptr<EdgeServerState>> edge_states_;
+  std::map<std::string, UserProfile> users_;
+  std::map<std::string, std::size_t> next_device_slot_;  // per-edge cursor
+
+  SystemStats stats_;
+};
+
+}  // namespace semcache::core

@@ -1,0 +1,257 @@
+// The Fig. 1 end-to-end workflow.
+//
+// Structure note: the DATA plane (encode/quantize/channel/decode, mismatch,
+// fine-tuning) is computed eagerly when transmit_async is called — its
+// results do not depend on simulated time. The TIMING plane (uplink,
+// compute queueing, backbone transfer, downlink, sync shipping) is a
+// callback chain through the discrete-event simulator, so open-loop
+// workloads (E7/E10) see real queueing contention. Weight updates therefore
+// take effect in transmit-call order, which is deterministic.
+#include "core/system.hpp"
+
+#include "common/check.hpp"
+#include "metrics/ngram.hpp"
+
+namespace semcache::core {
+
+namespace {
+constexpr std::size_t kHeaderBytes = 8;  ///< per-message framing overhead
+constexpr std::size_t kTokenBytes = 2;   ///< raw token id on device links
+
+std::size_t raw_message_bytes(const text::Sentence& s) {
+  return kHeaderBytes + kTokenBytes * s.surface.size();
+}
+}  // namespace
+
+void SemanticEdgeSystem::run_update(const std::string& sender,
+                                    std::size_t domain,
+                                    EdgeServerState& sender_state,
+                                    EdgeServerState& recv_state,
+                                    TransmitReport& report) {
+  UserModelSlot* sslot = sender_state.find_slot(sender, domain);
+  SEMCACHE_CHECK(sslot != nullptr && sslot->buffer != nullptr,
+                 "run_update: missing sender slot");
+
+  // Fine-tune a scratch clone on the buffered transactions (§II-D: the
+  // user-specialized encoder and decoder "start to be trained together
+  // after enough collected data at b^m").
+  auto scratch = sslot->model->clone();
+  Rng ft_rng = rng_.fork(0xF17E ^ (sslot->send_version + 1));
+  semantic::CodecTrainer::finetune(*scratch, sslot->buffer->samples(),
+                                   config_.finetune_epochs,
+                                   config_.finetune_lr, ft_rng,
+                                   config_.pretrain.feature_noise);
+
+  // Build the decoder sync message from pre/post snapshots.
+  const std::vector<float> before =
+      sslot->model->decoder().parameters().flatten_values();
+  const std::vector<float> after =
+      scratch->decoder().parameters().flatten_values();
+  const fl::SyncMessage msg = synchronizer_->make_message(
+      before, after, sender, static_cast<std::uint32_t>(domain),
+      ++sslot->send_version);
+
+  // Encoder adopts the exact fine-tuned weights (it lives only at the
+  // sender edge); the decoder COPY applies the same lossy delta the
+  // receiver will apply, so the replicas stay bit-identical.
+  nn::ParameterSet senc = sslot->model->encoder().parameters();
+  senc.copy_values_from(scratch->encoder().parameters());
+  nn::ParameterSet sdec = sslot->model->decoder().parameters();
+  synchronizer_->apply(sdec, msg);
+  sslot->buffer->consume();
+
+  report.triggered_update = true;
+  report.sync_bytes = msg.byte_size();
+  stats_.sync_bytes += msg.byte_size();
+  ++stats_.updates;
+
+  // Failure injection: the gradient message may be lost in transit. The
+  // sender's replica already moved forward, so a loss opens a version gap
+  // that the next delivered update must repair.
+  if (config_.sync_loss_probability > 0.0) {
+    Rng loss_rng = rng_.fork(0x10557 ^ (stats_.updates * 31ULL));
+    if (loss_rng.bernoulli(config_.sync_loss_probability)) {
+      ++stats_.sync_drops;
+      return;
+    }
+  }
+
+  // Ship the gradient to the receiver edge (④). Captures: recv_state lives
+  // in a stable unique_ptr; msg copied into the closure. The snapshot of
+  // the sender's post-update decoder rides along for gap recovery — on the
+  // wire it would be fetched on demand, so its bytes are only charged when
+  // a resync actually happens.
+  const std::vector<float> snapshot =
+      sslot->model->decoder().parameters().flatten_values();
+  auto apply_at_receiver = [this, &recv_state, sender, domain, msg,
+                            snapshot] {
+    UserModelSlot* rslot = recv_state.find_slot(sender, domain);
+    if (rslot == nullptr) return;  // receiver never saw this user; drop
+    if (rslot->recv_version.advance(msg.version)) {
+      nn::ParameterSet rdec = rslot->model->decoder().parameters();
+      synchronizer_->apply(rdec, msg);
+      ++rslot->updates_applied;
+      return;
+    }
+    if (msg.version <= rslot->recv_version.current()) return;  // replay
+    // Version gap: one or more updates were lost. Recover with a full
+    // decoder-state transfer (bytes charged on the backbone).
+    nn::ParameterSet rdec = rslot->model->decoder().parameters();
+    rdec.unflatten_values(snapshot);
+    rslot->recv_version.reset(msg.version);
+    ++rslot->updates_applied;
+    ++stats_.full_resyncs;
+    stats_.resync_bytes += 4 * snapshot.size();
+  };
+  if (sender_state.index() == recv_state.index()) {
+    apply_at_receiver();
+  } else {
+    topology_.net
+        ->link(topology_.edges[sender_state.index()],
+               topology_.edges[recv_state.index()])
+        .send(sim_, msg.byte_size(), apply_at_receiver);
+  }
+}
+
+void SemanticEdgeSystem::set_sync_loss_probability(double p) {
+  SEMCACHE_CHECK(p >= 0.0 && p <= 1.0,
+                 "sync_loss_probability must be in [0, 1]");
+  config_.sync_loss_probability = p;
+}
+
+void SemanticEdgeSystem::transmit_async(
+    const std::string& sender, const std::string& receiver,
+    text::Sentence message, std::function<void(TransmitReport)> on_done) {
+  SEMCACHE_CHECK(on_done != nullptr, "transmit_async: null completion");
+  SEMCACHE_CHECK(message.surface.size() == config_.codec.sentence_length,
+                 "transmit_async: message length must match codec window");
+  const UserProfile& sprofile = user(sender);
+  const UserProfile& rprofile = user(receiver);
+  EdgeServerState& sstate = edge_state(sprofile.edge_index);
+  EdgeServerState& rstate = edge_state(rprofile.edge_index);
+
+  auto report = std::make_shared<TransmitReport>();
+  report->domain_true = message.domain;
+
+  // --- Model selection (§III-A). ---
+  const std::size_t m = config_.oracle_selection
+                            ? message.domain
+                            : selector_->select(message.surface);
+  report->domain_selected = m;
+  report->selection_correct = (m == message.domain);
+  if (!report->selection_correct) ++stats_.selection_errors;
+
+  // --- General models through the edge caches (①). ---
+  report->general_cache_hit = touch_general_cache(sstate, m);
+  touch_general_cache(rstate, m);
+
+  // --- User-specific slots (②): clone from the general model on first
+  // contact. The receiver edge holds the decoder replica for this
+  // (sender, domain) pair. ---
+  report->established_user_model = (sstate.find_slot(sender, m) == nullptr);
+  UserModelSlot& sslot =
+      sstate.ensure_slot(sender, m, [&] { return clone_general(m); });
+  if (sslot.buffer == nullptr) {
+    // A trigger above the configured capacity means "never train" (the
+    // frozen-general-model baseline); size the ring to match.
+    sslot.buffer = std::make_unique<fl::DomainBuffer>(
+        config_.buffer_trigger,
+        std::max(config_.buffer_capacity, config_.buffer_trigger));
+  }
+  rstate.ensure_slot(sender, m, [&] { return clone_general(m); });
+  UserModelSlot& rslot = *rstate.find_slot(sender, m);
+
+  // ================= data plane (eager) =================
+  const tensor::Tensor feature = sslot.model->encoder().encode(message.surface);
+  const BitVec payload = quantizer_->quantize(feature);
+
+  BitVec received_bits = payload;
+  const bool cross_edge = sprofile.edge_index != rprofile.edge_index;
+  if (cross_edge) {
+    Rng ch_rng = rng_.fork(0xC4A2 ^ (stats_.messages * 2654435761ULL));
+    received_bits = pipeline_->transmit(payload, ch_rng);
+    report->airtime_bits = pipeline_->code().encoded_length(payload.size());
+  }
+
+  const tensor::Tensor rx_feature = quantizer_->dequantize(received_bits);
+  report->decoded_meanings = rslot.model->decoder().decode(rx_feature);
+  report->token_accuracy =
+      metrics::token_accuracy(message.meanings, report->decoded_meanings);
+  report->exact = (report->decoded_meanings == message.meanings);
+  report->payload_bytes = (payload.size() + 7) / 8 + kHeaderBytes;
+
+  // --- Mismatch calculation (③). With the decoder copy the sender can
+  // evaluate its own clean quantized feature locally; without it, the
+  // receiver must return its decoded output ("sending the output back
+  // would defeat the purpose", §II-C). ---
+  if (config_.decoder_copy_enabled) {
+    const tensor::Tensor clean = quantizer_->roundtrip(feature);
+    const tensor::Tensor logits = sslot.model->decoder().decode_logits(clean);
+    nn::SoftmaxCrossEntropy ce;
+    report->mismatch = ce.forward(logits, message.meanings);
+  } else {
+    report->output_return_bytes =
+        kHeaderBytes + kTokenBytes * report->decoded_meanings.size();
+    stats_.output_return_bytes += report->output_return_bytes;
+    // Error-rate proxy computed from the returned output.
+    report->mismatch = 1.0 - report->token_accuracy;
+  }
+  sslot.buffer->add({message.surface, message.meanings}, report->mismatch);
+
+  // --- Update trigger (④). ---
+  if (sslot.buffer->ready()) {
+    run_update(sender, m, sstate, rstate, *report);
+  }
+
+  stats_.feature_bytes += report->payload_bytes;
+  ++stats_.messages;
+
+  // ================= timing plane (event chain) =================
+  const double start_time = sim_.now();
+  const std::size_t up_bytes = raw_message_bytes(message);
+  const std::size_t down_bytes =
+      kHeaderBytes + kTokenBytes * report->decoded_meanings.size();
+  stats_.uplink_bytes += up_bytes;
+  stats_.downlink_bytes += down_bytes;
+
+  edge::Network& net = *topology_.net;
+  const double enc_flops =
+      2.0 * static_cast<double>(sslot.model->encoder().parameters().scalar_count());
+  const double dec_flops =
+      2.0 * static_cast<double>(rslot.model->decoder().parameters().scalar_count());
+
+  const edge::NodeId s_dev = sprofile.device;
+  const edge::NodeId r_dev = rprofile.device;
+  const edge::NodeId s_edge = topology_.edges[sprofile.edge_index];
+  const edge::NodeId r_edge = topology_.edges[rprofile.edge_index];
+  auto done = [this, report, on_done = std::move(on_done), start_time] {
+    report->latency_s = sim_.now() - start_time;
+    on_done(std::move(*report));
+  };
+
+  // Chain: uplink -> encode -> backbone -> decode -> downlink.
+  const std::size_t payload_bytes = report->payload_bytes;
+  auto downlink = [this, &net, r_edge, r_dev, down_bytes,
+                   done = std::move(done)]() mutable {
+    net.link(r_edge, r_dev).send(sim_, down_bytes, std::move(done));
+  };
+  auto decode = [this, &net, r_edge, dec_flops,
+                 downlink = std::move(downlink)]() mutable {
+    net.node(r_edge).submit_compute(sim_, dec_flops, std::move(downlink));
+  };
+  auto backbone = [this, &net, cross_edge, s_edge, r_edge, payload_bytes,
+                   decode = std::move(decode)]() mutable {
+    if (cross_edge) {
+      net.link(s_edge, r_edge).send(sim_, payload_bytes, std::move(decode));
+    } else {
+      decode();
+    }
+  };
+  auto encode = [this, &net, s_edge, enc_flops,
+                 backbone = std::move(backbone)]() mutable {
+    net.node(s_edge).submit_compute(sim_, enc_flops, std::move(backbone));
+  };
+  net.link(s_dev, s_edge).send(sim_, up_bytes, std::move(encode));
+}
+
+}  // namespace semcache::core

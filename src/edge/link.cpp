@@ -1,0 +1,36 @@
+#include "edge/link.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace semcache::edge {
+
+Link::Link(LinkId id, NodeId from, NodeId to, double bandwidth_bps,
+           double propagation_s)
+    : id_(id),
+      from_(from),
+      to_(to),
+      bandwidth_(bandwidth_bps),
+      propagation_(propagation_s) {
+  SEMCACHE_CHECK(bandwidth_bps > 0.0, "Link: bandwidth must be positive");
+  SEMCACHE_CHECK(propagation_s >= 0.0, "Link: negative propagation delay");
+}
+
+double Link::transfer_time(std::size_t bytes) const {
+  return static_cast<double>(bytes) * 8.0 / bandwidth_ + propagation_;
+}
+
+SimTime Link::send(Simulator& sim, std::size_t bytes,
+                   Simulator::Handler on_delivered) {
+  const double serialization = static_cast<double>(bytes) * 8.0 / bandwidth_;
+  const SimTime start = std::max(sim.now(), busy_until_);
+  busy_until_ = start + serialization;
+  const SimTime delivered = start + serialization + propagation_;
+  bytes_carried_ += bytes;
+  ++transfers_;
+  sim.schedule_at(delivered, std::move(on_delivered));
+  return delivered;
+}
+
+}  // namespace semcache::edge

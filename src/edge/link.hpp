@@ -1,0 +1,47 @@
+// Point-to-point links with finite bandwidth and propagation delay.
+// Transfers serialize FIFO on the link, so large model fetches delay the
+// small feature messages queued behind them — the contention that makes
+// caching pay off (E5).
+#pragma once
+
+#include "edge/node.hpp"
+#include "edge/sim.hpp"
+
+namespace semcache::edge {
+
+using LinkId = std::size_t;
+
+class Link {
+ public:
+  Link(LinkId id, NodeId from, NodeId to, double bandwidth_bps,
+       double propagation_s);
+
+  LinkId id() const { return id_; }
+  NodeId from() const { return from_; }
+  NodeId to() const { return to_; }
+  double bandwidth_bps() const { return bandwidth_; }
+  double propagation_s() const { return propagation_; }
+
+  /// Queue `bytes` on the link; `on_delivered` fires at arrival. Returns the
+  /// delivery time.
+  SimTime send(Simulator& sim, std::size_t bytes,
+               Simulator::Handler on_delivered);
+
+  /// Idle-link transfer latency for `bytes` (serialization + propagation).
+  double transfer_time(std::size_t bytes) const;
+
+  std::uint64_t bytes_carried() const { return bytes_carried_; }
+  std::size_t transfers() const { return transfers_; }
+
+ private:
+  LinkId id_;
+  NodeId from_;
+  NodeId to_;
+  double bandwidth_;
+  double propagation_;
+  SimTime busy_until_ = 0.0;
+  std::uint64_t bytes_carried_ = 0;
+  std::size_t transfers_ = 0;
+};
+
+}  // namespace semcache::edge

@@ -1,0 +1,74 @@
+// Network topology container: owns nodes and links, provides routing between
+// directly connected nodes, and builds the standard experiment topology
+// (devices -- edge servers -- cloud backbone).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "edge/link.hpp"
+#include "edge/node.hpp"
+
+namespace semcache::edge {
+
+struct TopologyConfig {
+  // Capacities in FLOP/s. Defaults: a phone, a beefy edge box, a datacenter.
+  double device_flops = 5e9;
+  double edge_flops = 2e11;
+  double cloud_flops = 5e12;
+  // Device <-> edge: a wireless access link.
+  double access_bandwidth_bps = 20e6;
+  double access_propagation_s = 0.004;
+  // Edge <-> edge: metro fiber.
+  double backbone_bandwidth_bps = 1e9;
+  double backbone_propagation_s = 0.010;
+  // Edge <-> cloud: wide-area path.
+  double cloud_bandwidth_bps = 200e6;
+  double cloud_propagation_s = 0.060;
+};
+
+class Network {
+ public:
+  Network() = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  NodeId add_node(std::string name, NodeKind kind, double flops);
+  /// Adds a bidirectional pair of links; returns the forward link id.
+  LinkId connect(NodeId a, NodeId b, double bandwidth_bps,
+                 double propagation_s);
+
+  Node& node(NodeId id);
+  const Node& node(NodeId id) const;
+  /// Directed link a -> b; throws if the nodes are not adjacent.
+  Link& link(NodeId a, NodeId b);
+  std::optional<LinkId> find_link(NodeId a, NodeId b) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+
+  std::uint64_t total_bytes_carried() const;
+
+ private:
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::unordered_map<std::uint64_t, LinkId> adjacency_;  // (a<<32|b) -> link
+};
+
+/// The standard two-edge-server topology of Fig. 1 plus a cloud model
+/// repository: users' devices attach to their local edge server; edge
+/// servers interconnect and reach the cloud.
+struct StandardTopology {
+  std::unique_ptr<Network> net;
+  NodeId cloud;
+  std::vector<NodeId> edges;                 // edge servers
+  std::vector<std::vector<NodeId>> devices;  // devices per edge server
+};
+
+StandardTopology build_standard_topology(std::size_t num_edges,
+                                         std::size_t devices_per_edge,
+                                         const TopologyConfig& config = {});
+
+}  // namespace semcache::edge

@@ -1,0 +1,40 @@
+#include "edge/node.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace semcache::edge {
+
+std::string node_kind_name(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kDevice: return "device";
+    case NodeKind::kEdgeServer: return "edge";
+    case NodeKind::kCloud: return "cloud";
+  }
+  return "?";
+}
+
+Node::Node(NodeId id, std::string name, NodeKind kind, double flops_per_second)
+    : id_(id), name_(std::move(name)), kind_(kind), flops_(flops_per_second) {
+  SEMCACHE_CHECK(flops_ > 0.0, "Node: capacity must be positive");
+}
+
+double Node::service_time(double flops) const {
+  SEMCACHE_CHECK(flops >= 0.0, "Node: negative flops");
+  return flops / flops_;
+}
+
+SimTime Node::submit_compute(Simulator& sim, double flops,
+                             Simulator::Handler on_done) {
+  const double service = service_time(flops);
+  const SimTime start = std::max(sim.now(), busy_until_);
+  const SimTime finish = start + service;
+  busy_until_ = finish;
+  busy_seconds_ += service;
+  ++jobs_;
+  sim.schedule_at(finish, std::move(on_done));
+  return finish;
+}
+
+}  // namespace semcache::edge

@@ -1,0 +1,50 @@
+// Compute nodes: mobile devices, edge servers, and the cloud differ only in
+// their compute capacity and where they sit in the topology. A node's
+// processor is a FIFO queue — submitted jobs serialize, which is what makes
+// under-provisioned placements back up in E7.
+#pragma once
+
+#include <string>
+
+#include "edge/sim.hpp"
+
+namespace semcache::edge {
+
+using NodeId = std::size_t;
+
+enum class NodeKind { kDevice, kEdgeServer, kCloud };
+
+std::string node_kind_name(NodeKind kind);
+
+class Node {
+ public:
+  Node(NodeId id, std::string name, NodeKind kind, double flops_per_second);
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  NodeKind kind() const { return kind_; }
+  double capacity() const { return flops_; }
+
+  /// Submit a compute job; `on_done` fires when it finishes. Jobs queue
+  /// FIFO behind whatever the node is already running. Returns the
+  /// completion time.
+  SimTime submit_compute(Simulator& sim, double flops,
+                         Simulator::Handler on_done);
+
+  /// Time a fresh job of `flops` would take with an idle processor.
+  double service_time(double flops) const;
+
+  double busy_seconds() const { return busy_seconds_; }
+  std::size_t jobs_completed() const { return jobs_; }
+
+ private:
+  NodeId id_;
+  std::string name_;
+  NodeKind kind_;
+  double flops_;
+  SimTime busy_until_ = 0.0;
+  double busy_seconds_ = 0.0;
+  std::size_t jobs_ = 0;
+};
+
+}  // namespace semcache::edge

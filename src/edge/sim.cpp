@@ -1,0 +1,40 @@
+#include "edge/sim.hpp"
+
+#include "common/check.hpp"
+
+namespace semcache::edge {
+
+void Simulator::schedule_at(SimTime t, Handler fn) {
+  SEMCACHE_CHECK(t >= now_, "Simulator: cannot schedule in the past");
+  SEMCACHE_CHECK(fn != nullptr, "Simulator: null handler");
+  queue_.push({t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::schedule_after(SimTime dt, Handler fn) {
+  SEMCACHE_CHECK(dt >= 0.0, "Simulator: negative delay");
+  schedule_at(now_ + dt, std::move(fn));
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(SimTime t) {
+  SEMCACHE_CHECK(t >= now_, "Simulator: run_until target is in the past");
+  while (!queue_.empty() && queue_.top().t <= t) step();
+  now_ = t;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // Move the handler out before popping so re-entrant scheduling is safe.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.t;
+  ++processed_;
+  ev.fn();
+  return true;
+}
+
+}  // namespace semcache::edge

@@ -1,0 +1,57 @@
+// Deterministic discrete-event simulation core.
+//
+// Events are ordered by (time, insertion sequence), so two events at the
+// same timestamp execute in scheduling order — simulations are bit-for-bit
+// reproducible run to run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace semcache::edge {
+
+/// Simulated seconds.
+using SimTime = double;
+
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule a handler at an absolute time >= now.
+  void schedule_at(SimTime t, Handler fn);
+  /// Schedule a handler `dt >= 0` seconds from now.
+  void schedule_after(SimTime dt, Handler fn);
+
+  /// Run until the event queue drains.
+  void run();
+  /// Run events with time <= t, then set now to t.
+  void run_until(SimTime t);
+  /// Execute only the next event (test hook); returns false when empty.
+  bool step();
+
+  std::size_t processed() const { return processed_; }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime t;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace semcache::edge

@@ -1,0 +1,42 @@
+#include "fl/buffer.hpp"
+
+#include "common/check.hpp"
+
+namespace semcache::fl {
+
+DomainBuffer::DomainBuffer(std::size_t trigger, std::size_t capacity)
+    : trigger_(trigger), capacity_(capacity) {
+  SEMCACHE_CHECK(trigger >= 1, "DomainBuffer: trigger must be >= 1");
+  SEMCACHE_CHECK(capacity >= trigger,
+                 "DomainBuffer: capacity must be >= trigger");
+}
+
+void DomainBuffer::add(semantic::Sample sample, double mismatch) {
+  if (samples_.size() == capacity_) {
+    samples_.erase(samples_.begin());
+    mismatches_.erase(mismatches_.begin());
+  }
+  samples_.push_back(std::move(sample));
+  mismatches_.push_back(mismatch);
+  ++since_consume_;
+  ++total_added_;
+}
+
+bool DomainBuffer::ready() const { return since_consume_ >= trigger_; }
+
+double DomainBuffer::mean_mismatch() const {
+  if (mismatches_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double m : mismatches_) sum += m;
+  return sum / static_cast<double>(mismatches_.size());
+}
+
+void DomainBuffer::consume() { since_consume_ = 0; }
+
+void DomainBuffer::clear() {
+  samples_.clear();
+  mismatches_.clear();
+  since_consume_ = 0;
+}
+
+}  // namespace semcache::fl

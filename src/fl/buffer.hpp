@@ -1,0 +1,50 @@
+// Domain transaction buffer b^m (Fig. 1, step ③).
+//
+// After each communication the sender edge runs its DECODER COPY on the
+// transmitted features, measures the mismatch against the original message
+// (possible locally precisely because the decoder is replicated, §II-C),
+// and stores the transaction here. When enough data accumulates, the
+// user-specific model is (re)trained from the buffer (§II-D).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "semantic/trainer.hpp"
+
+namespace semcache::fl {
+
+class DomainBuffer {
+ public:
+  /// `trigger` = samples needed before training; `capacity` = ring size.
+  DomainBuffer(std::size_t trigger, std::size_t capacity);
+
+  /// Record a transaction with its locally computed mismatch (loss).
+  void add(semantic::Sample sample, double mismatch);
+
+  /// True when at least `trigger` samples have accumulated since the last
+  /// consume().
+  bool ready() const;
+  /// Samples currently buffered (oldest first).
+  std::span<const semantic::Sample> samples() const { return samples_; }
+  std::size_t size() const { return samples_.size(); }
+  std::size_t trigger() const { return trigger_; }
+  double mean_mismatch() const;
+
+  /// Mark the buffered data as consumed by a training round; keeps the
+  /// samples (they remain valid fine-tuning data) but re-arms the trigger.
+  void consume();
+  void clear();
+
+  std::size_t total_added() const { return total_added_; }
+
+ private:
+  std::size_t trigger_;
+  std::size_t capacity_;
+  std::vector<semantic::Sample> samples_;
+  std::vector<double> mismatches_;
+  std::size_t since_consume_ = 0;
+  std::size_t total_added_ = 0;
+};
+
+}  // namespace semcache::fl

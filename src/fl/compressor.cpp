@@ -1,0 +1,170 @@
+#include "fl/compressor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace semcache::fl {
+
+namespace {
+// LEB128 varint: sorted index lists compress to ~1 byte per entry when
+// encoded as first-difference deltas.
+void write_varint(ByteWriter& w, std::uint32_t v) {
+  while (v >= 0x80) {
+    w.write_u8(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  w.write_u8(static_cast<std::uint8_t>(v));
+}
+
+std::uint32_t read_varint(ByteReader& r) {
+  std::uint32_t v = 0;
+  int shift = 0;
+  while (true) {
+    const std::uint8_t b = r.read_u8();
+    v |= static_cast<std::uint32_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+    SEMCACHE_CHECK(shift < 35, "varint too long");
+  }
+  return v;
+}
+}  // namespace
+
+void CompressedDelta::serialize(ByteWriter& w) const {
+  w.write_u32(total_dims);
+  w.write_f32(scale);
+  w.write_u8(static_cast<std::uint8_t>(bits));
+  w.write_u32(static_cast<std::uint32_t>(indices.size()));
+  // Indices are sorted ascending: store first-difference varints.
+  std::uint32_t prev = 0;
+  for (const auto i : indices) {
+    SEMCACHE_CHECK(i >= prev, "CompressedDelta: indices must be sorted");
+    write_varint(w, i - prev);
+    prev = i;
+  }
+  if (bits == 32) {
+    w.write_f32_vector(dense_values);
+  } else {
+    w.write_u32(static_cast<std::uint32_t>(q_values.size()));
+    for (const auto v : q_values) {
+      if (bits == 8) {
+        w.write_u8(static_cast<std::uint8_t>(static_cast<std::int8_t>(v)));
+      } else {
+        w.write_u16(static_cast<std::uint16_t>(static_cast<std::int16_t>(v)));
+      }
+    }
+  }
+}
+
+CompressedDelta CompressedDelta::deserialize(ByteReader& r) {
+  CompressedDelta c;
+  c.total_dims = r.read_u32();
+  c.scale = r.read_f32();
+  c.bits = r.read_u8();
+  SEMCACHE_CHECK(c.bits == 8 || c.bits == 16 || c.bits == 32,
+                 "CompressedDelta: bad bit width");
+  const std::uint32_t idx_count = r.read_u32();
+  c.indices.reserve(idx_count);
+  std::uint32_t prev = 0;
+  for (std::uint32_t i = 0; i < idx_count; ++i) {
+    prev += read_varint(r);
+    c.indices.push_back(prev);
+  }
+  if (c.bits == 32) {
+    c.dense_values = r.read_f32_vector();
+  } else {
+    const std::uint32_t n = r.read_u32();
+    c.q_values.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (c.bits == 8) {
+        c.q_values.push_back(static_cast<std::int8_t>(r.read_u8()));
+      } else {
+        c.q_values.push_back(static_cast<std::int16_t>(r.read_u16()));
+      }
+    }
+  }
+  return c;
+}
+
+std::size_t CompressedDelta::byte_size() const {
+  ByteWriter w;
+  serialize(w);
+  return w.size();
+}
+
+DeltaCompressor::DeltaCompressor(const CompressionConfig& config)
+    : config_(config) {
+  SEMCACHE_CHECK(config.top_k_fraction > 0.0 && config.top_k_fraction <= 1.0,
+                 "compressor: top_k_fraction must be in (0, 1]");
+  SEMCACHE_CHECK(config.bits == 8 || config.bits == 16 || config.bits == 32,
+                 "compressor: bits must be 8, 16 or 32");
+}
+
+CompressedDelta DeltaCompressor::compress(std::span<const float> delta) const {
+  CompressedDelta c;
+  c.total_dims = static_cast<std::uint32_t>(delta.size());
+  c.bits = config_.bits;
+
+  // Select the surviving coordinates.
+  std::vector<std::uint32_t> selected;
+  if (config_.top_k_fraction >= 1.0) {
+    selected.resize(delta.size());
+    for (std::uint32_t i = 0; i < delta.size(); ++i) selected[i] = i;
+  } else {
+    const auto k = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(
+               config_.top_k_fraction * static_cast<double>(delta.size()))));
+    std::vector<std::uint32_t> order(delta.size());
+    for (std::uint32_t i = 0; i < delta.size(); ++i) order[i] = i;
+    std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     order.end(), [&](std::uint32_t a, std::uint32_t b) {
+                       return std::abs(delta[a]) > std::abs(delta[b]);
+                     });
+    order.resize(k);
+    std::sort(order.begin(), order.end());
+    selected = std::move(order);
+    c.indices = selected;
+  }
+
+  if (config_.bits == 32) {
+    c.dense_values.reserve(selected.size());
+    for (const auto i : selected) c.dense_values.push_back(delta[i]);
+    return c;
+  }
+
+  // Symmetric quantization of the surviving values.
+  float max_abs = 0.0f;
+  for (const auto i : selected) max_abs = std::max(max_abs, std::abs(delta[i]));
+  const std::int32_t qmax = config_.bits == 8 ? 127 : 32767;
+  c.scale = max_abs > 0.0f ? max_abs / static_cast<float>(qmax) : 1.0f;
+  c.q_values.reserve(selected.size());
+  for (const auto i : selected) {
+    const auto q = static_cast<std::int32_t>(
+        std::lround(delta[i] / c.scale));
+    c.q_values.push_back(std::clamp(q, -qmax, qmax));
+  }
+  return c;
+}
+
+std::vector<float> DeltaCompressor::decompress(const CompressedDelta& c) const {
+  std::vector<float> out(c.total_dims, 0.0f);
+  const bool sparse = !c.indices.empty();
+  const std::size_t count =
+      c.bits == 32 ? c.dense_values.size() : c.q_values.size();
+  SEMCACHE_CHECK(!sparse || c.indices.size() == count,
+                 "decompress: index/value count mismatch");
+  SEMCACHE_CHECK(sparse || count == c.total_dims,
+                 "decompress: dense count mismatch");
+  for (std::size_t j = 0; j < count; ++j) {
+    const std::size_t i = sparse ? c.indices[j] : j;
+    SEMCACHE_CHECK(i < out.size(), "decompress: index out of range");
+    out[i] = c.bits == 32
+                 ? c.dense_values[j]
+                 : static_cast<float>(c.q_values[j]) * c.scale;
+  }
+  return out;
+}
+
+}  // namespace semcache::fl

@@ -1,0 +1,52 @@
+// Gradient/delta compression for the decoder sync of §II-D.
+//
+// The update transmitted to the receiver edge is a weight delta (the
+// accumulated gradient of the user decoder). Two orthogonal knobs, ablated
+// in E9:
+//  * top-k sparsification: keep only the largest-|value| fraction;
+//  * quantization: 32-bit raw floats, or symmetric int8/int16.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/serialize.hpp"
+
+namespace semcache::fl {
+
+struct CompressionConfig {
+  double top_k_fraction = 1.0;  ///< in (0, 1]; 1.0 = dense
+  unsigned bits = 32;           ///< 8, 16, or 32
+};
+
+/// Wire form of a compressed delta. byte_size() is exactly what the
+/// simulated network charges for the sync message payload.
+struct CompressedDelta {
+  std::uint32_t total_dims = 0;
+  float scale = 1.0f;                   ///< quantization scale (ignored @32)
+  unsigned bits = 32;
+  std::vector<std::uint32_t> indices;   ///< empty when dense
+  std::vector<float> dense_values;      ///< used when bits == 32
+  std::vector<std::int32_t> q_values;   ///< used when bits < 32
+
+  void serialize(ByteWriter& w) const;
+  static CompressedDelta deserialize(ByteReader& r);
+  std::size_t byte_size() const;
+};
+
+class DeltaCompressor {
+ public:
+  explicit DeltaCompressor(const CompressionConfig& config);
+
+  CompressedDelta compress(std::span<const float> delta) const;
+  /// Reconstruct a full-size delta vector (zeros where sparsified).
+  std::vector<float> decompress(const CompressedDelta& c) const;
+
+  const CompressionConfig& config() const { return config_; }
+
+ private:
+  CompressionConfig config_;
+};
+
+}  // namespace semcache::fl

@@ -1,0 +1,86 @@
+#include "fl/sync.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace semcache::fl {
+
+std::vector<std::uint8_t> SyncMessage::to_bytes() const {
+  ByteWriter w;
+  w.write_string(user);
+  w.write_u32(domain);
+  w.write_u64(version);
+  delta.serialize(w);
+  return w.bytes();
+}
+
+SyncMessage SyncMessage::from_bytes(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  SyncMessage m;
+  m.user = r.read_string();
+  m.domain = r.read_u32();
+  m.version = r.read_u64();
+  m.delta = CompressedDelta::deserialize(r);
+  SEMCACHE_CHECK(r.exhausted(), "SyncMessage: trailing bytes");
+  return m;
+}
+
+std::size_t SyncMessage::byte_size() const { return to_bytes().size(); }
+
+ModelSynchronizer::ModelSynchronizer(const CompressionConfig& config)
+    : compressor_(config) {}
+
+SyncMessage ModelSynchronizer::make_message(std::span<const float> before,
+                                            std::span<const float> after,
+                                            const std::string& user,
+                                            std::uint32_t domain,
+                                            std::uint64_t version) const {
+  SEMCACHE_CHECK(before.size() == after.size(),
+                 "make_message: snapshot size mismatch");
+  std::vector<float> delta(before.size());
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    delta[i] = after[i] - before[i];
+  }
+  SyncMessage m;
+  m.user = user;
+  m.domain = domain;
+  m.version = version;
+  m.delta = compressor_.compress(delta);
+  return m;
+}
+
+void ModelSynchronizer::apply(nn::ParameterSet& params,
+                              const SyncMessage& message) const {
+  const std::vector<float> delta = compressor_.decompress(message.delta);
+  params.apply_delta(delta);
+}
+
+double ModelSynchronizer::compression_residual(
+    std::span<const float> before, std::span<const float> after) const {
+  SEMCACHE_CHECK(before.size() == after.size(),
+                 "compression_residual: size mismatch");
+  std::vector<float> delta(before.size());
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    delta[i] = after[i] - before[i];
+  }
+  const auto reconstructed =
+      compressor_.decompress(compressor_.compress(delta));
+  double sq = 0.0;
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    const double d = static_cast<double>(delta[i]) - reconstructed[i];
+    sq += d * d;
+  }
+  return std::sqrt(sq);
+}
+
+bool VersionVector::advance(std::uint64_t version) {
+  if (version != current_ + 1) {
+    ++rejected_;
+    return false;
+  }
+  current_ = version;
+  return true;
+}
+
+}  // namespace semcache::fl

@@ -1,0 +1,80 @@
+#include "metrics/confusion.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace semcache::metrics {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : k_(num_classes), cells_(num_classes * num_classes, 0) {
+  SEMCACHE_CHECK(num_classes > 0, "ConfusionMatrix needs >= 1 class");
+}
+
+void ConfusionMatrix::add(std::size_t truth, std::size_t predicted) {
+  SEMCACHE_CHECK(truth < k_ && predicted < k_,
+                 "ConfusionMatrix::add: class index out of range");
+  ++cells_[truth * k_ + predicted];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(std::size_t truth,
+                                   std::size_t predicted) const {
+  SEMCACHE_CHECK(truth < k_ && predicted < k_,
+                 "ConfusionMatrix::count: class index out of range");
+  return cells_[truth * k_ + predicted];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < k_; ++i) correct += cells_[i * k_ + i];
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(std::size_t cls) const {
+  std::size_t tp = cells_[cls * k_ + cls];
+  std::size_t predicted = 0;
+  for (std::size_t t = 0; t < k_; ++t) predicted += cells_[t * k_ + cls];
+  return predicted == 0 ? 0.0
+                        : static_cast<double>(tp) / static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(std::size_t cls) const {
+  std::size_t tp = cells_[cls * k_ + cls];
+  std::size_t actual = 0;
+  for (std::size_t p = 0; p < k_; ++p) actual += cells_[cls * k_ + p];
+  return actual == 0 ? 0.0
+                     : static_cast<double>(tp) / static_cast<double>(actual);
+}
+
+double ConfusionMatrix::f1(std::size_t cls) const {
+  const double p = precision(cls);
+  const double r = recall(cls);
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double sum = 0.0;
+  for (std::size_t c = 0; c < k_; ++c) sum += f1(c);
+  return sum / static_cast<double>(k_);
+}
+
+std::string ConfusionMatrix::to_string(
+    const std::vector<std::string>& labels) const {
+  std::ostringstream os;
+  os << "truth\\pred";
+  for (std::size_t c = 0; c < k_; ++c) {
+    os << '\t' << (c < labels.size() ? labels[c] : "c" + std::to_string(c));
+  }
+  os << '\n';
+  for (std::size_t t = 0; t < k_; ++t) {
+    os << (t < labels.size() ? labels[t] : "c" + std::to_string(t));
+    for (std::size_t p = 0; p < k_; ++p) os << '\t' << cells_[t * k_ + p];
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace semcache::metrics

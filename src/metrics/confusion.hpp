@@ -1,0 +1,36 @@
+// Confusion matrix for classifier evaluation (model selection, E6).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace semcache::metrics {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  void add(std::size_t truth, std::size_t predicted);
+
+  std::size_t num_classes() const { return k_; }
+  std::size_t total() const { return total_; }
+  std::size_t count(std::size_t truth, std::size_t predicted) const;
+
+  double accuracy() const;
+  /// Per-class precision / recall / F1 (0 when undefined).
+  double precision(std::size_t cls) const;
+  double recall(std::size_t cls) const;
+  double f1(std::size_t cls) const;
+  double macro_f1() const;
+
+  /// Human-readable grid with optional class labels.
+  std::string to_string(const std::vector<std::string>& labels = {}) const;
+
+ private:
+  std::size_t k_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> cells_;  // row = truth, col = predicted
+};
+
+}  // namespace semcache::metrics

@@ -1,0 +1,82 @@
+#include "metrics/ngram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace semcache::metrics {
+
+double token_accuracy(std::span<const std::int32_t> reference,
+                      std::span<const std::int32_t> hypothesis) {
+  const std::size_t n = std::max(reference.size(), hypothesis.size());
+  if (n == 0) return 1.0;
+  std::size_t correct = 0;
+  const std::size_t overlap = std::min(reference.size(), hypothesis.size());
+  for (std::size_t i = 0; i < overlap; ++i) {
+    if (reference[i] == hypothesis[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+namespace {
+using Gram = std::vector<std::int32_t>;
+
+std::map<Gram, std::size_t> count_ngrams(std::span<const std::int32_t> seq,
+                                         int order) {
+  std::map<Gram, std::size_t> counts;
+  if (static_cast<int>(seq.size()) < order) return counts;
+  for (std::size_t i = 0; i + static_cast<std::size_t>(order) <= seq.size(); ++i) {
+    Gram g(seq.begin() + static_cast<std::ptrdiff_t>(i),
+           seq.begin() + static_cast<std::ptrdiff_t>(i) + order);
+    ++counts[g];
+  }
+  return counts;
+}
+}  // namespace
+
+double ngram_precision(std::span<const std::int32_t> reference,
+                       std::span<const std::int32_t> hypothesis, int order) {
+  SEMCACHE_CHECK(order >= 1, "ngram_precision: order must be >= 1");
+  const auto ref = count_ngrams(reference, order);
+  const auto hyp = count_ngrams(hypothesis, order);
+  std::size_t total = 0;
+  std::size_t matched = 0;
+  for (const auto& [gram, count] : hyp) {
+    total += count;
+    const auto it = ref.find(gram);
+    if (it != ref.end()) matched += std::min(count, it->second);
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(matched) / static_cast<double>(total);
+}
+
+double bleu(std::span<const std::int32_t> reference,
+            std::span<const std::int32_t> hypothesis, int max_order) {
+  SEMCACHE_CHECK(max_order >= 1, "bleu: max_order must be >= 1");
+  if (hypothesis.empty()) return reference.empty() ? 1.0 : 0.0;
+
+  double log_sum = 0.0;
+  int orders = 0;
+  for (int order = 1; order <= max_order; ++order) {
+    if (static_cast<int>(hypothesis.size()) < order ||
+        static_cast<int>(reference.size()) < order) {
+      break;
+    }
+    const double p = ngram_precision(reference, hypothesis, order);
+    if (p == 0.0) return 0.0;
+    log_sum += std::log(p);
+    ++orders;
+  }
+  if (orders == 0) return 0.0;
+  const double geo_mean = std::exp(log_sum / orders);
+
+  const auto r = static_cast<double>(reference.size());
+  const auto h = static_cast<double>(hypothesis.size());
+  const double brevity = h >= r ? 1.0 : std::exp(1.0 - r / h);
+  return geo_mean * brevity;
+}
+
+}  // namespace semcache::metrics

@@ -1,0 +1,25 @@
+// Text-fidelity metrics for semantic communication: token accuracy and a
+// BLEU-style n-gram overlap score between original and reconstructed
+// token sequences.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace semcache::metrics {
+
+/// Fraction of positions where reference and hypothesis agree, over the
+/// length of the longer sequence (missing positions count as errors).
+double token_accuracy(std::span<const std::int32_t> reference,
+                      std::span<const std::int32_t> hypothesis);
+
+/// Modified n-gram precision for a single order.
+double ngram_precision(std::span<const std::int32_t> reference,
+                       std::span<const std::int32_t> hypothesis, int order);
+
+/// BLEU-style score: geometric mean of 1..max_order modified precisions with
+/// a brevity penalty. Returns a value in [0, 1].
+double bleu(std::span<const std::int32_t> reference,
+            std::span<const std::int32_t> hypothesis, int max_order = 4);
+
+}  // namespace semcache::metrics

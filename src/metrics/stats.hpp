@@ -1,0 +1,48 @@
+// Online statistics used by the simulator, benches, and experiments.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace semcache::metrics {
+
+/// Welford single-pass mean/variance accumulator.
+class OnlineStats {
+ public:
+  void add(double x);
+  /// Merge another accumulator (parallel-safe Chan et al. combine).
+  void merge(const OnlineStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile tracker: stores all samples, sorts on demand.
+/// Suited to experiment-scale sample counts (<= millions).
+class PercentileTracker {
+ public:
+  void add(double x);
+  /// q in [0, 1]; linear interpolation between order statistics.
+  double percentile(double q) const;
+  double median() const { return percentile(0.5); }
+  std::size_t count() const { return samples_.size(); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace semcache::metrics

@@ -1,0 +1,70 @@
+#include "metrics/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace semcache::metrics {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  SEMCACHE_CHECK(!columns_.empty(), "Table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  SEMCACHE_CHECK(cells.size() == columns_.size(),
+                 "Table row has " + std::to_string(cells.size()) +
+                     " cells, expected " + std::to_string(columns_.size()));
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::to_markdown() const {
+  // Column widths for alignment.
+  std::vector<std::size_t> w(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) w[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) w[c] = std::max(w[c], row[c].size());
+  }
+
+  std::ostringstream os;
+  os << "### " << title_ << "\n\n|";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << ' ' << std::left << std::setw(static_cast<int>(w[c])) << columns_[c] << " |";
+  }
+  os << "\n|";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << std::string(w[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << std::left << std::setw(static_cast<int>(w[c])) << row[c] << " |";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << columns_[c] << (c + 1 == columns_.size() ? '\n' : ',');
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << (c + 1 == row.size() ? '\n' : ',');
+    }
+  }
+  return os.str();
+}
+
+}  // namespace semcache::metrics

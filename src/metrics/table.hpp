@@ -1,0 +1,32 @@
+// Paper-style result tables. Every bench binary builds one of these and
+// prints it, so the "rows/series the paper reports" have a uniform format
+// (markdown for humans, CSV for downstream plotting).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace semcache::metrics {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  /// Append a row; must match the column count.
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  std::string to_markdown() const;
+  std::string to_csv() const;
+
+  const std::string& title() const { return title_; }
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace semcache::metrics

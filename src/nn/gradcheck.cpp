@@ -1,0 +1,43 @@
+#include "nn/gradcheck.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace semcache::nn {
+
+GradCheckResult gradcheck(const std::function<double()>& loss_fn,
+                          std::span<Parameter* const> params, double epsilon,
+                          std::size_t probes, double denom_floor,
+                          double count_tol) {
+  SEMCACHE_CHECK(epsilon > 0.0, "gradcheck: epsilon must be positive");
+  SEMCACHE_CHECK(denom_floor > 0.0, "gradcheck: denom_floor must be positive");
+  GradCheckResult result;
+  for (Parameter* p : params) {
+    const std::size_t n = p->value.size();
+    const std::size_t stride =
+        (probes == 0 || probes >= n) ? 1 : std::max<std::size_t>(1, n / probes);
+    for (std::size_t i = 0; i < n; i += stride) {
+      const float original = p->value.at(i);
+      p->value.at(i) = original + static_cast<float>(epsilon);
+      const double plus = loss_fn();
+      p->value.at(i) = original - static_cast<float>(epsilon);
+      const double minus = loss_fn();
+      p->value.at(i) = original;
+
+      const double numeric = (plus - minus) / (2.0 * epsilon);
+      const double analytic = p->grad.at(i);
+      const double abs_err = std::abs(numeric - analytic);
+      const double denom =
+          std::max({std::abs(numeric), std::abs(analytic), denom_floor});
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      result.max_rel_error = std::max(result.max_rel_error, abs_err / denom);
+      if (abs_err / denom > count_tol) ++result.above_tol;
+      ++result.checked;
+    }
+  }
+  return result;
+}
+
+}  // namespace semcache::nn

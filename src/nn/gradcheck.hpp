@@ -1,0 +1,49 @@
+// Numerical gradient checking harness.
+//
+// Used by the test suite to verify every layer's analytic backward pass
+// against central finite differences. Gradcheck is the ground truth that
+// makes the "explicit backward" design safe.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "nn/layers.hpp"
+
+namespace semcache::nn {
+
+struct GradCheckResult {
+  double max_abs_error = 0.0;  // max |analytic - numeric|
+  double max_rel_error = 0.0;  // max error relative to magnitudes
+  std::size_t checked = 0;     // number of scalars compared
+  std::size_t above_tol = 0;   // elements with rel error > count_tol
+
+  bool ok(double tol) const { return max_rel_error <= tol; }
+  /// Robust acceptance for ReLU networks: central differences straddle an
+  /// activation kink for a handful of elements (bias perturbations shift
+  /// every row's pre-activation), which inflates the max without any
+  /// gradient bug. Accept when at most `allowed` elements exceeded the
+  /// counting tolerance and the absolute error stays bounded.
+  bool mostly_ok(std::size_t allowed, double max_abs) const {
+    return above_tol <= allowed && max_abs_error <= max_abs;
+  }
+};
+
+/// Compare the accumulated gradients in `params` against central-difference
+/// estimates of `loss_fn` (a pure function of the parameter values). The
+/// caller must have run forward+backward once so Parameter::grad holds the
+/// analytic gradient. `probes` limits how many scalars per parameter are
+/// checked (stride-sampled); 0 means all.
+///
+/// `denom_floor` bounds the relative-error denominator from below. With
+/// float32 forward passes the numeric gradient carries noise of roughly
+/// (loss ulp)/(2*epsilon) ~ 5e-4, so gradients smaller than the floor are
+/// effectively judged by absolute error — without this, a correct 1e-4
+/// gradient reads as a huge "relative" error.
+GradCheckResult gradcheck(const std::function<double()>& loss_fn,
+                          std::span<Parameter* const> params,
+                          double epsilon = 1e-3, std::size_t probes = 0,
+                          double denom_floor = 0.05,
+                          double count_tol = 2e-2);
+
+}  // namespace semcache::nn

@@ -1,0 +1,155 @@
+#include "nn/gru.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace semcache::nn {
+
+using tensor::add_inplace;
+using tensor::column_sums;
+using tensor::matmul;
+using tensor::transpose;
+
+namespace {
+Tensor sigmoid(const Tensor& t) {
+  Tensor y = t;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y.at(i) = 1.0f / (1.0f + std::exp(-y.at(i)));
+  }
+  return y;
+}
+
+Tensor tanh_t(const Tensor& t) {
+  Tensor y = t;
+  for (std::size_t i = 0; i < y.size(); ++i) y.at(i) = std::tanh(y.at(i));
+  return y;
+}
+
+/// Extract row i of a rank-2 tensor as a (1 x cols) tensor.
+Tensor row(const Tensor& t, std::size_t i) {
+  Tensor out({1, t.dim(1)});
+  for (std::size_t j = 0; j < t.dim(1); ++j) out.at(0, j) = t.at(i, j);
+  return out;
+}
+}  // namespace
+
+Gru::Gru(std::size_t input_dim, std::size_t hidden_dim, Rng& rng,
+         std::string name)
+    : in_(input_dim),
+      hid_(hidden_dim),
+      wz_(name + ".wz", Tensor::xavier(input_dim, hidden_dim, rng)),
+      uz_(name + ".uz", Tensor::xavier(hidden_dim, hidden_dim, rng)),
+      bz_(name + ".bz", Tensor::zeros({hidden_dim})),
+      wr_(name + ".wr", Tensor::xavier(input_dim, hidden_dim, rng)),
+      ur_(name + ".ur", Tensor::xavier(hidden_dim, hidden_dim, rng)),
+      br_(name + ".br", Tensor::zeros({hidden_dim})),
+      wh_(name + ".wh", Tensor::xavier(input_dim, hidden_dim, rng)),
+      uh_(name + ".uh", Tensor::xavier(hidden_dim, hidden_dim, rng)),
+      bh_(name + ".bh", Tensor::zeros({hidden_dim})) {}
+
+Tensor Gru::forward(const Tensor& xs) {
+  SEMCACHE_CHECK(xs.rank() == 2 && xs.dim(1) == in_,
+                 "gru: input must be (T x input_dim)");
+  const std::size_t t_steps = xs.dim(0);
+  cache_.clear();
+  cache_.reserve(t_steps);
+
+  Tensor hs({t_steps, hid_});
+  Tensor h = Tensor::zeros({1, hid_});
+  for (std::size_t t = 0; t < t_steps; ++t) {
+    const Tensor x = row(xs, t);
+    Tensor az = tensor::affine(x, wz_.value, bz_.value);
+    add_inplace(az, matmul(h, uz_.value));
+    const Tensor z = sigmoid(az);
+
+    Tensor ar = tensor::affine(x, wr_.value, br_.value);
+    add_inplace(ar, matmul(h, ur_.value));
+    const Tensor r = sigmoid(ar);
+
+    const Tensor rh = tensor::mul(r, h);
+    Tensor ah = tensor::affine(x, wh_.value, bh_.value);
+    add_inplace(ah, matmul(rh, uh_.value));
+    const Tensor h_tilde = tanh_t(ah);
+
+    Tensor h_next({1, hid_});
+    for (std::size_t j = 0; j < hid_; ++j) {
+      h_next.at(0, j) = (1.0f - z.at(0, j)) * h.at(0, j) +
+                        z.at(0, j) * h_tilde.at(0, j);
+      hs.at(t, j) = h_next.at(0, j);
+    }
+    cache_.push_back({x, h, z, r, h_tilde});
+    h = h_next;
+  }
+  return hs;
+}
+
+Tensor Gru::backward(const Tensor& grad_hs) {
+  SEMCACHE_CHECK(grad_hs.rank() == 2 && grad_hs.dim(0) == cache_.size() &&
+                     grad_hs.dim(1) == hid_,
+                 "gru: grad_hs must be (T x hidden_dim) matching forward");
+  const std::size_t t_steps = cache_.size();
+  Tensor dxs({t_steps, in_});
+  Tensor dh_next = Tensor::zeros({1, hid_});  // dL/dh_t flowing from t+1
+
+  for (std::size_t ti = t_steps; ti-- > 0;) {
+    const StepCache& c = cache_[ti];
+    // Total gradient at h_t: from the per-step loss plus from step t+1.
+    Tensor dh = dh_next;
+    for (std::size_t j = 0; j < hid_; ++j) dh.at(0, j) += grad_hs.at(ti, j);
+
+    Tensor da_z({1, hid_});
+    Tensor da_h({1, hid_});
+    for (std::size_t j = 0; j < hid_; ++j) {
+      const float z = c.z.at(0, j);
+      const float ht = c.h_tilde.at(0, j);
+      da_z.at(0, j) = dh.at(0, j) * (ht - c.h_prev.at(0, j)) * z * (1.0f - z);
+      da_h.at(0, j) = dh.at(0, j) * z * (1.0f - ht * ht);
+    }
+
+    // Gradient w.r.t. (r ⊙ h_prev) through U_h.
+    const Tensor g_rh = matmul(da_h, transpose(uh_.value));
+    Tensor da_r({1, hid_});
+    for (std::size_t j = 0; j < hid_; ++j) {
+      const float r = c.r.at(0, j);
+      da_r.at(0, j) = g_rh.at(0, j) * c.h_prev.at(0, j) * r * (1.0f - r);
+    }
+
+    // Parameter gradients.
+    const Tensor xt_T = transpose(c.x);
+    const Tensor hprev_T = transpose(c.h_prev);
+    const Tensor rh = tensor::mul(c.r, c.h_prev);
+    add_inplace(wz_.grad, matmul(xt_T, da_z));
+    add_inplace(uz_.grad, matmul(hprev_T, da_z));
+    add_inplace(bz_.grad, column_sums(da_z));
+    add_inplace(wr_.grad, matmul(xt_T, da_r));
+    add_inplace(ur_.grad, matmul(hprev_T, da_r));
+    add_inplace(br_.grad, column_sums(da_r));
+    add_inplace(wh_.grad, matmul(xt_T, da_h));
+    add_inplace(uh_.grad, matmul(transpose(rh), da_h));
+    add_inplace(bh_.grad, column_sums(da_h));
+
+    // Input gradient.
+    Tensor dx = matmul(da_z, transpose(wz_.value));
+    add_inplace(dx, matmul(da_r, transpose(wr_.value)));
+    add_inplace(dx, matmul(da_h, transpose(wh_.value)));
+    for (std::size_t j = 0; j < in_; ++j) dxs.at(ti, j) = dx.at(0, j);
+
+    // Hidden-state gradient to step t-1.
+    Tensor dh_prev({1, hid_});
+    for (std::size_t j = 0; j < hid_; ++j) {
+      dh_prev.at(0, j) =
+          dh.at(0, j) * (1.0f - c.z.at(0, j)) + g_rh.at(0, j) * c.r.at(0, j);
+    }
+    add_inplace(dh_prev, matmul(da_z, transpose(uz_.value)));
+    add_inplace(dh_prev, matmul(da_r, transpose(ur_.value)));
+    dh_next = dh_prev;
+  }
+  return dxs;
+}
+
+std::vector<Parameter*> Gru::parameters() {
+  return {&wz_, &uz_, &bz_, &wr_, &ur_, &br_, &wh_, &uh_, &bh_};
+}
+
+}  // namespace semcache::nn

@@ -1,0 +1,228 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace semcache::nn {
+
+using tensor::add_inplace;
+using tensor::affine;
+using tensor::column_sums;
+using tensor::matmul;
+using tensor::transpose;
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng,
+               std::string name)
+    : name_(std::move(name)),
+      w_(name_ + ".w", Tensor::xavier(in_features, out_features, rng)),
+      b_(name_ + ".b", Tensor::zeros({out_features})) {}
+
+Tensor Linear::forward(const Tensor& x) {
+  SEMCACHE_CHECK(x.rank() == 2 && x.dim(1) == w_.value.dim(0),
+                 name_ + ": input shape " + x.shape_string() +
+                     " incompatible with weight " + w_.value.shape_string());
+  last_input_ = x;
+  return affine(x, w_.value, b_.value);
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  SEMCACHE_CHECK(last_input_.size() > 0, name_ + ": backward before forward");
+  // dW = xᵀ dy, db = column sums of dy, dx = dy Wᵀ.
+  add_inplace(w_.grad, matmul(transpose(last_input_), grad_out));
+  add_inplace(b_.grad, column_sums(grad_out));
+  return matmul(grad_out, transpose(w_.value));
+}
+
+Tensor ReLU::forward(const Tensor& x) {
+  last_input_ = x;
+  Tensor y = x;
+  float* py = y.data();
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (py[i] < 0.0f) py[i] = 0.0f;
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  SEMCACHE_CHECK(grad_out.same_shape(last_input_),
+                 "relu: backward shape mismatch");
+  Tensor dx = grad_out;
+  float* pd = dx.data();
+  const float* px = last_input_.data();
+  for (std::size_t i = 0; i < dx.size(); ++i) {
+    if (px[i] <= 0.0f) pd[i] = 0.0f;
+  }
+  return dx;
+}
+
+Tensor Tanh::forward(const Tensor& x) {
+  Tensor y = x;
+  float* py = y.data();
+  for (std::size_t i = 0; i < y.size(); ++i) py[i] = std::tanh(py[i]);
+  last_output_ = y;
+  return y;
+}
+
+Tensor Tanh::backward(const Tensor& grad_out) {
+  SEMCACHE_CHECK(grad_out.same_shape(last_output_),
+                 "tanh: backward shape mismatch");
+  Tensor dx = grad_out;
+  float* pd = dx.data();
+  const float* py = last_output_.data();
+  for (std::size_t i = 0; i < dx.size(); ++i) {
+    pd[i] *= (1.0f - py[i] * py[i]);
+  }
+  return dx;
+}
+
+Tensor Sigmoid::forward(const Tensor& x) {
+  Tensor y = x;
+  float* py = y.data();
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    py[i] = 1.0f / (1.0f + std::exp(-py[i]));
+  }
+  last_output_ = y;
+  return y;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_out) {
+  SEMCACHE_CHECK(grad_out.same_shape(last_output_),
+                 "sigmoid: backward shape mismatch");
+  Tensor dx = grad_out;
+  float* pd = dx.data();
+  const float* py = last_output_.data();
+  for (std::size_t i = 0; i < dx.size(); ++i) {
+    pd[i] *= py[i] * (1.0f - py[i]);
+  }
+  return dx;
+}
+
+LayerNorm::LayerNorm(std::size_t features, std::string name)
+    : name_(std::move(name)),
+      gain_(name_ + ".gain", Tensor::full({features}, 1.0f)),
+      bias_(name_ + ".bias", Tensor::zeros({features})) {}
+
+Tensor LayerNorm::forward(const Tensor& x) {
+  SEMCACHE_CHECK(x.rank() == 2 && x.dim(1) == gain_.value.dim(0),
+                 name_ + ": input width mismatch");
+  const std::size_t m = x.dim(0);
+  const std::size_t n = x.dim(1);
+  normalized_ = Tensor({m, n});
+  inv_std_ = Tensor({m});
+  Tensor y({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    float mean = 0.0f;
+    for (std::size_t j = 0; j < n; ++j) mean += x.at(i, j);
+    mean /= static_cast<float>(n);
+    float var = 0.0f;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float d = x.at(i, j) - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(n);
+    const float inv_std = 1.0f / std::sqrt(var + kEps);
+    inv_std_.at(i) = inv_std;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float nz = (x.at(i, j) - mean) * inv_std;
+      normalized_.at(i, j) = nz;
+      y.at(i, j) = nz * gain_.value.at(j) + bias_.value.at(j);
+    }
+  }
+  return y;
+}
+
+Tensor LayerNorm::backward(const Tensor& grad_out) {
+  SEMCACHE_CHECK(grad_out.same_shape(normalized_),
+                 name_ + ": backward shape mismatch");
+  const std::size_t m = grad_out.dim(0);
+  const std::size_t n = grad_out.dim(1);
+  Tensor dx({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    // dnorm_j = dy_j * gain_j; dx via the standard layernorm backward:
+    // dx = inv_std * (dnorm - mean(dnorm) - norm * mean(dnorm * norm)).
+    float mean_dn = 0.0f;
+    float mean_dn_nz = 0.0f;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float dn = grad_out.at(i, j) * gain_.value.at(j);
+      mean_dn += dn;
+      mean_dn_nz += dn * normalized_.at(i, j);
+    }
+    mean_dn /= static_cast<float>(n);
+    mean_dn_nz /= static_cast<float>(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const float dn = grad_out.at(i, j) * gain_.value.at(j);
+      dx.at(i, j) =
+          inv_std_.at(i) * (dn - mean_dn - normalized_.at(i, j) * mean_dn_nz);
+      gain_.grad.at(j) += grad_out.at(i, j) * normalized_.at(i, j);
+      bias_.grad.at(j) += grad_out.at(i, j);
+    }
+  }
+  return dx;
+}
+
+Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
+  SEMCACHE_CHECK(layer != nullptr, "Sequential::add: null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& x) {
+  Tensor h = x;
+  for (const auto& layer : layers_) h = layer->forward(h);
+  return h;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+  std::vector<Parameter*> out;
+  for (const auto& layer : layers_) {
+    for (Parameter* p : layer->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+Embedding::Embedding(std::size_t vocab_size, std::size_t dim, Rng& rng,
+                     std::string name)
+    : w_(std::move(name),
+         Tensor::uniform({vocab_size, dim},
+                         1.0f / std::sqrt(static_cast<float>(dim)), rng)) {}
+
+Tensor Embedding::forward(std::span<const std::int32_t> ids) {
+  last_ids_.assign(ids.begin(), ids.end());
+  const std::size_t d = dim();
+  Tensor out({ids.size(), d});
+  float* po = out.data();
+  const float* pw = w_.value.data();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto id = ids[i];
+    SEMCACHE_CHECK(id >= 0 && static_cast<std::size_t>(id) < vocab_size(),
+                   "embedding: token id out of range");
+    const float* row = pw + static_cast<std::size_t>(id) * d;
+    for (std::size_t j = 0; j < d; ++j) po[i * d + j] = row[j];
+  }
+  return out;
+}
+
+void Embedding::backward(const Tensor& grad_out) {
+  SEMCACHE_CHECK(grad_out.rank() == 2 && grad_out.dim(0) == last_ids_.size() &&
+                     grad_out.dim(1) == dim(),
+                 "embedding: backward shape mismatch");
+  const std::size_t d = dim();
+  float* pg = w_.grad.data();
+  const float* po = grad_out.data();
+  for (std::size_t i = 0; i < last_ids_.size(); ++i) {
+    const auto id = static_cast<std::size_t>(last_ids_[i]);
+    float* row = pg + id * d;
+    for (std::size_t j = 0; j < d; ++j) row[j] += po[i * d + j];
+  }
+}
+
+}  // namespace semcache::nn

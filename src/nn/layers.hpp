@@ -1,0 +1,165 @@
+// Layer-based neural network with explicit forward/backward passes.
+//
+// We use explicit per-layer backward rather than a tape autograd: the model
+// zoo here is small (MLPs, embeddings, one GRU), and explicit gradients are
+// straightforward to verify with the numerical gradcheck harness
+// (nn/gradcheck.hpp), which every layer is tested against.
+//
+// Convention: inputs/activations are rank-2 tensors (batch x features).
+// forward() caches whatever backward() needs; backward() receives dL/dy,
+// accumulates dL/dparam into each Parameter::grad, and returns dL/dx.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace semcache::nn {
+
+using tensor::Tensor;
+
+/// A named trainable tensor with its gradient accumulator.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Parameter(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+  void zero_grad() { grad.zero(); }
+};
+
+/// Abstract differentiable module.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  virtual Tensor forward(const Tensor& x) = 0;
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+  virtual std::vector<Parameter*> parameters() { return {}; }
+  virtual std::string name() const = 0;
+};
+
+/// y = x W + b.
+class Linear : public Layer {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, Rng& rng,
+         std::string name = "linear");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override { return {&w_, &b_}; }
+  std::string name() const override { return name_; }
+
+  Parameter& weight() { return w_; }
+  Parameter& bias() { return b_; }
+
+ private:
+  std::string name_;
+  Parameter w_;
+  Parameter b_;
+  Tensor last_input_;
+};
+
+/// y = max(x, 0).
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "relu"; }
+
+ private:
+  Tensor last_input_;
+};
+
+/// y = tanh(x).
+class Tanh : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "tanh"; }
+
+ private:
+  Tensor last_output_;
+};
+
+/// y = 1 / (1 + exp(-x)).
+class Sigmoid : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "sigmoid"; }
+
+ private:
+  Tensor last_output_;
+};
+
+/// Per-row layer normalization with learned gain/bias.
+class LayerNorm : public Layer {
+ public:
+  explicit LayerNorm(std::size_t features, std::string name = "layernorm");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override { return {&gain_, &bias_}; }
+  std::string name() const override { return name_; }
+
+ private:
+  static constexpr float kEps = 1e-5f;
+  std::string name_;
+  Parameter gain_;
+  Parameter bias_;
+  Tensor normalized_;  // (x - mean) / std, cached for backward
+  Tensor inv_std_;     // rank-1, one per row
+};
+
+/// Composition of layers applied in order.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Append a layer; returns *this for chaining.
+  Sequential& add(std::unique_ptr<Layer> layer);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return "sequential"; }
+
+  std::size_t size() const { return layers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Token-id -> dense vector lookup table. Not a Layer (its input is a
+/// sequence of ids, not a tensor), but exposes the same train surface.
+class Embedding {
+ public:
+  Embedding(std::size_t vocab_size, std::size_t dim, Rng& rng,
+            std::string name = "embedding");
+
+  /// Returns an (ids.size() x dim) tensor of rows.
+  Tensor forward(std::span<const std::int32_t> ids);
+  /// Accumulates into the weight gradient for the ids of the last forward.
+  void backward(const Tensor& grad_out);
+
+  std::vector<Parameter*> parameters() { return {&w_}; }
+  std::size_t vocab_size() const { return w_.value.dim(0); }
+  std::size_t dim() const { return w_.value.dim(1); }
+  Parameter& weight() { return w_; }
+
+ private:
+  Parameter w_;
+  std::vector<std::int32_t> last_ids_;
+};
+
+}  // namespace semcache::nn

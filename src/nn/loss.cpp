@@ -1,0 +1,66 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace semcache::nn {
+
+double SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                    std::span<const std::int32_t> targets) {
+  SEMCACHE_CHECK(logits.rank() == 2, "ce: logits must be rank-2");
+  SEMCACHE_CHECK(logits.dim(0) == targets.size(),
+                 "ce: batch size mismatch with targets");
+  probs_ = tensor::row_softmax(logits);
+  targets_.assign(targets.begin(), targets.end());
+
+  double loss = 0.0;
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    const auto t = targets_[i];
+    SEMCACHE_CHECK(t >= 0 && static_cast<std::size_t>(t) < logits.dim(1),
+                   "ce: target class out of range");
+    // Clamp to avoid -inf on (numerically) zero probabilities.
+    const double p =
+        std::max(static_cast<double>(probs_.at(i, static_cast<std::size_t>(t))),
+                 1e-12);
+    loss -= std::log(p);
+  }
+  return loss / static_cast<double>(targets_.size());
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  SEMCACHE_CHECK(!targets_.empty(), "ce: backward before forward");
+  Tensor grad = probs_;
+  const auto n = static_cast<float>(targets_.size());
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    grad.at(i, static_cast<std::size_t>(targets_[i])) -= 1.0f;
+  }
+  float* pg = grad.data();
+  const float inv = 1.0f / n;
+  for (std::size_t i = 0; i < grad.size(); ++i) pg[i] *= inv;
+  return grad;
+}
+
+double MeanSquaredError::forward(const Tensor& prediction,
+                                 const Tensor& target) {
+  SEMCACHE_CHECK(prediction.same_shape(target), "mse: shape mismatch");
+  prediction_ = prediction;
+  target_ = target;
+  double loss = 0.0;
+  for (std::size_t i = 0; i < prediction.size(); ++i) {
+    const double d = static_cast<double>(prediction.at(i)) - target.at(i);
+    loss += d * d;
+  }
+  return loss / static_cast<double>(prediction.size());
+}
+
+Tensor MeanSquaredError::backward() const {
+  SEMCACHE_CHECK(prediction_.size() > 0, "mse: backward before forward");
+  Tensor grad = tensor::sub(prediction_, target_);
+  const float scale = 2.0f / static_cast<float>(prediction_.size());
+  for (std::size_t i = 0; i < grad.size(); ++i) grad.at(i) *= scale;
+  return grad;
+}
+
+}  // namespace semcache::nn

@@ -1,0 +1,128 @@
+#include "nn/model.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace semcache::nn {
+
+ParameterSet::ParameterSet(std::vector<Parameter*> params)
+    : params_(std::move(params)) {
+  for (const Parameter* p : params_) {
+    SEMCACHE_CHECK(p != nullptr, "ParameterSet: null parameter");
+  }
+}
+
+void ParameterSet::add(Parameter* p) {
+  SEMCACHE_CHECK(p != nullptr, "ParameterSet::add: null parameter");
+  params_.push_back(p);
+}
+
+void ParameterSet::add_all(std::span<Parameter* const> params) {
+  for (Parameter* p : params) add(p);
+}
+
+std::size_t ParameterSet::scalar_count() const {
+  std::size_t n = 0;
+  for (const Parameter* p : params_) n += p->value.size();
+  return n;
+}
+
+std::size_t ParameterSet::byte_size() const {
+  ByteWriter w;
+  serialize(w);
+  return w.size();
+}
+
+std::vector<float> ParameterSet::flatten_values() const {
+  std::vector<float> out;
+  out.reserve(scalar_count());
+  for (const Parameter* p : params_) {
+    out.insert(out.end(), p->value.flat().begin(), p->value.flat().end());
+  }
+  return out;
+}
+
+std::vector<float> ParameterSet::flatten_grads() const {
+  std::vector<float> out;
+  out.reserve(scalar_count());
+  for (const Parameter* p : params_) {
+    out.insert(out.end(), p->grad.flat().begin(), p->grad.flat().end());
+  }
+  return out;
+}
+
+void ParameterSet::unflatten_values(std::span<const float> flat) {
+  SEMCACHE_CHECK(flat.size() == scalar_count(),
+                 "unflatten_values: size mismatch");
+  std::size_t off = 0;
+  for (Parameter* p : params_) {
+    std::copy_n(flat.begin() + static_cast<std::ptrdiff_t>(off),
+                p->value.size(), p->value.flat().begin());
+    off += p->value.size();
+  }
+}
+
+void ParameterSet::apply_delta(std::span<const float> delta) {
+  SEMCACHE_CHECK(delta.size() == scalar_count(), "apply_delta: size mismatch");
+  std::size_t off = 0;
+  for (Parameter* p : params_) {
+    float* dst = p->value.data();
+    for (std::size_t i = 0; i < p->value.size(); ++i) dst[i] += delta[off + i];
+    off += p->value.size();
+  }
+}
+
+void ParameterSet::serialize(ByteWriter& w) const {
+  w.write_u32(static_cast<std::uint32_t>(params_.size()));
+  for (const Parameter* p : params_) {
+    w.write_string(p->name);
+    p->value.serialize(w);
+  }
+}
+
+void ParameterSet::deserialize(ByteReader& r) {
+  const std::uint32_t n = r.read_u32();
+  SEMCACHE_CHECK(n == params_.size(),
+                 "ParameterSet::deserialize: parameter count mismatch");
+  for (Parameter* p : params_) {
+    const std::string name = r.read_string();
+    SEMCACHE_CHECK(name == p->name,
+                   "ParameterSet::deserialize: expected parameter '" + p->name +
+                       "', found '" + name + "'");
+    tensor::Tensor t = tensor::Tensor::deserialize(r);
+    SEMCACHE_CHECK(t.same_shape(p->value),
+                   "ParameterSet::deserialize: shape mismatch for " + p->name);
+    p->value = std::move(t);
+  }
+}
+
+void ParameterSet::copy_values_from(const ParameterSet& other) {
+  SEMCACHE_CHECK(params_.size() == other.params_.size(),
+                 "copy_values_from: parameter count mismatch");
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    SEMCACHE_CHECK(params_[i]->value.same_shape(other.params_[i]->value),
+                   "copy_values_from: shape mismatch at " + params_[i]->name);
+    params_[i]->value = other.params_[i]->value;
+  }
+}
+
+bool ParameterSet::values_equal(const ParameterSet& other) const {
+  if (params_.size() != other.params_.size()) return false;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (!params_[i]->value.equals(other.params_[i]->value)) return false;
+  }
+  return true;
+}
+
+float ParameterSet::max_abs_diff(const ParameterSet& other) const {
+  SEMCACHE_CHECK(params_.size() == other.params_.size(),
+                 "max_abs_diff: parameter count mismatch");
+  float m = 0.0f;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    m = std::max(m, params_[i]->value.max_abs_diff(other.params_[i]->value));
+  }
+  return m;
+}
+
+}  // namespace semcache::nn

@@ -1,0 +1,61 @@
+// Model-level utilities shared by the semantic codecs, the selector
+// networks, and the FL sync layer:
+//  * ParameterSet — a named view over a model's parameters with snapshot,
+//    restore, diff, and byte-exact (de)serialization;
+//  * flattening of values/gradients to contiguous float vectors (the wire
+//    format the gradient compressor in semcache::fl consumes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "nn/layers.hpp"
+
+namespace semcache::nn {
+
+/// Non-owning, ordered collection of parameters. The order is part of the
+/// contract: flatten/unflatten, serialize/deserialize, and gradient sync all
+/// rely on both replicas enumerating parameters identically.
+class ParameterSet {
+ public:
+  ParameterSet() = default;
+  explicit ParameterSet(std::vector<Parameter*> params);
+
+  void add(Parameter* p);
+  void add_all(std::span<Parameter* const> params);
+
+  std::span<Parameter* const> params() const { return params_; }
+  std::size_t count() const { return params_.size(); }
+  /// Total number of scalar weights.
+  std::size_t scalar_count() const;
+  /// Serialized size in bytes.
+  std::size_t byte_size() const;
+
+  /// Concatenate all parameter values (in order) into one vector.
+  std::vector<float> flatten_values() const;
+  /// Concatenate all gradients (in order) into one vector.
+  std::vector<float> flatten_grads() const;
+  /// Write a flat value vector back into the parameters.
+  void unflatten_values(std::span<const float> flat);
+  /// Add `delta` (a flat vector, e.g. a decompressed gradient scaled by
+  /// -lr) into the parameter values.
+  void apply_delta(std::span<const float> delta);
+
+  /// Byte-exact snapshot of all values (names + tensors).
+  void serialize(ByteWriter& w) const;
+  /// Restore from a snapshot; shapes and names must match.
+  void deserialize(ByteReader& r);
+
+  /// Copy values from another set with identical structure.
+  void copy_values_from(const ParameterSet& other);
+  /// True when every parameter is bit-identical to `other`'s.
+  bool values_equal(const ParameterSet& other) const;
+  /// Max |a-b| over all scalars.
+  float max_abs_diff(const ParameterSet& other) const;
+
+ private:
+  std::vector<Parameter*> params_;
+};
+
+}  // namespace semcache::nn

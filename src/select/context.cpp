@@ -1,0 +1,101 @@
+#include "select/context.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace semcache::select {
+
+Conversation generate_conversation(const text::World& world,
+                                   std::size_t length, double switch_prob,
+                                   Rng& rng) {
+  SEMCACHE_CHECK(switch_prob >= 0.0 && switch_prob <= 1.0,
+                 "conversation: switch_prob must be in [0, 1]");
+  Conversation conv;
+  conv.messages.reserve(length);
+  auto domain = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(world.num_domains()) - 1));
+  for (std::size_t i = 0; i < length; ++i) {
+    if (i > 0 && world.num_domains() > 1 && rng.bernoulli(switch_prob)) {
+      // Switch to a different domain uniformly.
+      const auto offset = static_cast<std::size_t>(rng.uniform_int(
+          1, static_cast<std::int64_t>(world.num_domains()) - 1));
+      domain = (domain + offset) % world.num_domains();
+    }
+    conv.messages.push_back(world.sample_sentence(domain, rng));
+  }
+  return conv;
+}
+
+ContextSelector::ContextSelector(std::unique_ptr<ProbabilisticSelector> base,
+                                 std::size_t num_domains,
+                                 const ContextConfig& config)
+    : base_(std::move(base)),
+      domains_(num_domains),
+      config_(config),
+      belief_(num_domains, 0.0) {
+  SEMCACHE_CHECK(base_ != nullptr, "context: null base selector");
+  SEMCACHE_CHECK(config.ewma >= 0.0 && config.ewma < 1.0,
+                 "context: ewma must be in [0, 1)");
+  SEMCACHE_CHECK(config.stay_prob > 0.0 && config.stay_prob < 1.0,
+                 "context: stay_prob must be in (0, 1)");
+}
+
+std::size_t ContextSelector::select(std::span<const std::int32_t> surface) {
+  const std::vector<double> msg = base_->log_posterior(surface);
+  std::vector<double> combined(domains_);
+  if (!has_context_) {
+    combined = msg;
+  } else {
+    // Markov transition applied to the prior belief, then EWMA-blend with
+    // the per-message evidence.
+    const double stay = std::log(config_.stay_prob);
+    const double move = std::log((1.0 - config_.stay_prob) /
+                                 std::max<double>(1, domains_ - 1));
+    // Prior after transition: for each target d, logsumexp over sources.
+    std::vector<double> prior(domains_);
+    for (std::size_t d = 0; d < domains_; ++d) {
+      double mx = -1e300;
+      for (std::size_t s = 0; s < domains_; ++s) {
+        const double t = belief_[s] + (s == d ? stay : move);
+        mx = std::max(mx, t);
+      }
+      double sum = 0.0;
+      for (std::size_t s = 0; s < domains_; ++s) {
+        sum += std::exp(belief_[s] + (s == d ? stay : move) - mx);
+      }
+      prior[d] = mx + std::log(sum);
+    }
+    for (std::size_t d = 0; d < domains_; ++d) {
+      combined[d] = config_.ewma * prior[d] + (1.0 - config_.ewma) * msg[d];
+    }
+  }
+  // Renormalize and store as the new belief.
+  const double mx = *std::max_element(combined.begin(), combined.end());
+  double sum = 0.0;
+  for (const double c : combined) sum += std::exp(c - mx);
+  const double lse = mx + std::log(sum);
+  for (double& c : combined) c -= lse;
+  belief_ = combined;
+  has_context_ = true;
+  return static_cast<std::size_t>(std::distance(
+      combined.begin(), std::max_element(combined.begin(), combined.end())));
+}
+
+void ContextSelector::observe(std::span<const std::int32_t> surface,
+                              std::size_t domain) {
+  base_->observe(surface, domain);
+}
+
+void ContextSelector::reset_context() {
+  std::fill(belief_.begin(), belief_.end(), 0.0);
+  has_context_ = false;
+  base_->reset_context();
+}
+
+std::string ContextSelector::name() const {
+  return "context(" + base_->name() + ")";
+}
+
+}  // namespace semcache::select

@@ -1,0 +1,41 @@
+// Context-aware selection (§III-A): "as context is often critical in
+// selecting the appropriate model". Two pieces:
+//
+//  * ContextSelector — decorates any ProbabilisticSelector with an EWMA
+//    over per-message posteriors plus a sticky Markov topic prior. This is
+//    the cheap, training-free way to exploit conversation context.
+//  * generate_conversation — sticky-topic conversation workload (shared
+//    with the GRU classifier and E6).
+#pragma once
+
+#include <memory>
+
+#include "select/selector.hpp"
+
+namespace semcache::select {
+
+struct ContextConfig {
+  double ewma = 0.6;       ///< weight on accumulated context (0 = stateless)
+  double stay_prob = 0.85; ///< Markov prior: P(topic stays between messages)
+};
+
+class ContextSelector final : public DomainSelector {
+ public:
+  ContextSelector(std::unique_ptr<ProbabilisticSelector> base,
+                  std::size_t num_domains, const ContextConfig& config = {});
+
+  std::size_t select(std::span<const std::int32_t> surface) override;
+  void observe(std::span<const std::int32_t> surface,
+               std::size_t domain) override;
+  void reset_context() override;
+  std::string name() const override;
+
+ private:
+  std::unique_ptr<ProbabilisticSelector> base_;
+  std::size_t domains_;
+  ContextConfig config_;
+  std::vector<double> belief_;  ///< accumulated log-belief per domain
+  bool has_context_ = false;
+};
+
+}  // namespace semcache::select

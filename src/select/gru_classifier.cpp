@@ -1,0 +1,122 @@
+#include "select/gru_classifier.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace semcache::select {
+
+using tensor::Tensor;
+
+GruClassifier::GruClassifier(std::size_t vocab_size, std::size_t num_domains,
+                             Rng& rng, const GruClassifierConfig& config)
+    : vocab_(vocab_size),
+      domains_(num_domains),
+      config_(config),
+      embed_("gruc.embed",
+             Tensor::uniform({vocab_size, config.embed_dim}, 0.1f, rng)),
+      gru_(config.embed_dim, config.hidden_dim, rng, "gruc.gru"),
+      head_(config.hidden_dim, num_domains, rng, "gruc.head"),
+      opt_(config.lr) {
+  SEMCACHE_CHECK(vocab_size >= 1 && num_domains >= 1,
+                 "gru_classifier: bad dimensions");
+}
+
+Tensor GruClassifier::embed_message(
+    std::span<const std::int32_t> surface) const {
+  Tensor x({1, config_.embed_dim});
+  if (surface.empty()) return x;
+  const float w = 1.0f / static_cast<float>(surface.size());
+  for (const auto id : surface) {
+    SEMCACHE_CHECK(id >= 0 && static_cast<std::size_t>(id) < vocab_,
+                   "gru_classifier: word id out of range");
+    for (std::size_t j = 0; j < config_.embed_dim; ++j) {
+      x.at(0, j) += embed_.value.at(static_cast<std::size_t>(id), j) * w;
+    }
+  }
+  return x;
+}
+
+Tensor GruClassifier::forward_sequence(
+    const std::vector<std::vector<std::int32_t>>& messages) {
+  const std::size_t t_steps = messages.size();
+  Tensor xs({t_steps, config_.embed_dim});
+  for (std::size_t t = 0; t < t_steps; ++t) {
+    const Tensor e = embed_message(messages[t]);
+    for (std::size_t j = 0; j < config_.embed_dim; ++j) {
+      xs.at(t, j) = e.at(0, j);
+    }
+  }
+  const Tensor hs = gru_.forward(xs);
+  return head_.forward(hs);  // (T x domains)
+}
+
+std::vector<nn::Parameter*> GruClassifier::all_params() {
+  std::vector<nn::Parameter*> out{&embed_};
+  for (nn::Parameter* p : gru_.parameters()) out.push_back(p);
+  for (nn::Parameter* p : head_.parameters()) out.push_back(p);
+  return out;
+}
+
+double GruClassifier::train_conversation(const Conversation& conversation) {
+  SEMCACHE_CHECK(!conversation.messages.empty(),
+                 "gru_classifier: empty conversation");
+  std::vector<std::vector<std::int32_t>> msgs;
+  std::vector<std::int32_t> labels;
+  msgs.reserve(conversation.messages.size());
+  for (const auto& m : conversation.messages) {
+    msgs.push_back(m.surface);
+    labels.push_back(static_cast<std::int32_t>(m.domain));
+  }
+
+  auto params = all_params();
+  nn::Optimizer::zero_grad(params);
+
+  const Tensor logits = forward_sequence(msgs);
+  nn::SoftmaxCrossEntropy loss;
+  const double value = loss.forward(logits, labels);
+
+  const Tensor dlogits = loss.backward();
+  const Tensor dhs = head_.backward(dlogits);
+  const Tensor dxs = gru_.backward(dhs);
+  // Spread message-embedding gradients back to the word embedding rows.
+  for (std::size_t t = 0; t < msgs.size(); ++t) {
+    if (msgs[t].empty()) continue;
+    const float w = 1.0f / static_cast<float>(msgs[t].size());
+    for (const auto id : msgs[t]) {
+      for (std::size_t j = 0; j < config_.embed_dim; ++j) {
+        embed_.grad.at(static_cast<std::size_t>(id), j) += dxs.at(t, j) * w;
+      }
+    }
+  }
+
+  nn::Optimizer::clip_grad_norm(params, config_.grad_clip);
+  opt_.step(params);
+  return value;
+}
+
+std::size_t GruClassifier::select(std::span<const std::int32_t> surface) {
+  context_.emplace_back(surface.begin(), surface.end());
+  const Tensor logits = forward_sequence(context_);
+  const std::size_t last = context_.size() - 1;
+  std::size_t best = 0;
+  for (std::size_t d = 1; d < domains_; ++d) {
+    if (logits.at(last, d) > logits.at(last, best)) best = d;
+  }
+  return best;
+}
+
+void GruClassifier::observe(std::span<const std::int32_t> surface,
+                            std::size_t domain) {
+  Conversation conv;
+  text::Sentence s;
+  s.domain = domain;
+  s.surface.assign(surface.begin(), surface.end());
+  conv.messages.push_back(std::move(s));
+  train_conversation(conv);
+}
+
+void GruClassifier::reset_context() { context_.clear(); }
+
+}  // namespace semcache::select

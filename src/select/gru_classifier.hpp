@@ -1,0 +1,59 @@
+// GRU sequence classifier over conversations — the learned context-aware
+// selector (§III-A suggests "LSTM-based classification networks"; we use a
+// GRU, see DESIGN.md substitutions).
+//
+// Message embedding = mean of trainable word embeddings; a GRU consumes the
+// message-embedding sequence; a linear head maps each hidden state to
+// domain logits. Trained with BPTT over full conversations.
+#pragma once
+
+#include "nn/gru.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "select/selector.hpp"
+
+namespace semcache::select {
+
+struct GruClassifierConfig {
+  std::size_t embed_dim = 16;
+  std::size_t hidden_dim = 32;
+  double lr = 5e-3;
+  double grad_clip = 5.0;
+};
+
+class GruClassifier final : public DomainSelector {
+ public:
+  GruClassifier(std::size_t vocab_size, std::size_t num_domains, Rng& rng,
+                const GruClassifierConfig& config = {});
+
+  /// One BPTT step over a labeled conversation; returns the mean loss.
+  double train_conversation(const Conversation& conversation);
+
+  /// Online prediction: appends the message to the current conversation
+  /// context and re-runs the prefix (conversations are short).
+  std::size_t select(std::span<const std::int32_t> surface) override;
+  /// Single-message supervised example (treated as a length-1 conversation).
+  void observe(std::span<const std::int32_t> surface,
+               std::size_t domain) override;
+  void reset_context() override;
+  std::string name() const override { return "gru"; }
+
+ private:
+  /// Mean word embedding of a message -> (1 x embed_dim).
+  tensor::Tensor embed_message(std::span<const std::int32_t> surface) const;
+  /// Forward a whole conversation; returns (T x domains) logits.
+  tensor::Tensor forward_sequence(
+      const std::vector<std::vector<std::int32_t>>& messages);
+  std::vector<nn::Parameter*> all_params();
+
+  std::size_t vocab_;
+  std::size_t domains_;
+  GruClassifierConfig config_;
+  nn::Parameter embed_;
+  nn::Gru gru_;
+  nn::Linear head_;
+  nn::Adam opt_;
+  std::vector<std::vector<std::int32_t>> context_;  // current conversation
+};
+
+}  // namespace semcache::select

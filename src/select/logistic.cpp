@@ -1,0 +1,74 @@
+#include "select/logistic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace semcache::select {
+
+LogisticSelector::LogisticSelector(std::size_t vocab_size,
+                                   std::size_t num_domains, Rng& rng,
+                                   double lr)
+    : vocab_(vocab_size),
+      domains_(num_domains),
+      linear_(vocab_size, num_domains, rng, "logit"),
+      opt_(lr) {
+  SEMCACHE_CHECK(vocab_size >= 1 && num_domains >= 1,
+                 "logistic: bad dimensions");
+}
+
+tensor::Tensor LogisticSelector::featurize(
+    std::span<const std::int32_t> surface) const {
+  tensor::Tensor x({1, vocab_});
+  if (surface.empty()) return x;
+  const float w = 1.0f / static_cast<float>(surface.size());
+  for (const auto id : surface) {
+    SEMCACHE_CHECK(id >= 0 && static_cast<std::size_t>(id) < vocab_,
+                   "logistic: word id out of range");
+    x.at(0, static_cast<std::size_t>(id)) += w;
+  }
+  return x;
+}
+
+void LogisticSelector::observe(std::span<const std::int32_t> surface,
+                               std::size_t domain) {
+  SEMCACHE_CHECK(domain < domains_, "logistic: domain out of range");
+  const tensor::Tensor x = featurize(surface);
+  const tensor::Tensor logits = linear_.forward(x);
+  const std::int32_t target = static_cast<std::int32_t>(domain);
+  loss_.forward(logits, std::span<const std::int32_t>(&target, 1));
+  auto params = linear_.parameters();
+  nn::Optimizer::zero_grad(params);
+  linear_.backward(loss_.backward());
+  opt_.step(params);
+}
+
+std::vector<double> LogisticSelector::log_posterior(
+    std::span<const std::int32_t> surface) {
+  const tensor::Tensor logits = linear_.forward(featurize(surface));
+  // log-softmax over the single row.
+  double mx = logits.at(0, 0);
+  for (std::size_t d = 1; d < domains_; ++d) {
+    mx = std::max(mx, static_cast<double>(logits.at(0, d)));
+  }
+  double sum = 0.0;
+  for (std::size_t d = 0; d < domains_; ++d) {
+    sum += std::exp(static_cast<double>(logits.at(0, d)) - mx);
+  }
+  const double lse = mx + std::log(sum);
+  std::vector<double> out(domains_);
+  for (std::size_t d = 0; d < domains_; ++d) {
+    out[d] = static_cast<double>(logits.at(0, d)) - lse;
+  }
+  return out;
+}
+
+std::size_t LogisticSelector::select(std::span<const std::int32_t> surface) {
+  const auto scores = log_posterior(surface);
+  return static_cast<std::size_t>(std::distance(
+      scores.begin(), std::max_element(scores.begin(), scores.end())));
+}
+
+}  // namespace semcache::select

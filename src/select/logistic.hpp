@@ -1,0 +1,37 @@
+// Logistic-regression selector: a single trained linear layer over
+// normalized bag-of-words counts — the stateless neural classifier of
+// §III-A, trained online with cross-entropy.
+#pragma once
+
+#include <memory>
+
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "select/selector.hpp"
+
+namespace semcache::select {
+
+class LogisticSelector final : public ProbabilisticSelector {
+ public:
+  LogisticSelector(std::size_t vocab_size, std::size_t num_domains, Rng& rng,
+                   double lr = 0.1);
+
+  std::size_t select(std::span<const std::int32_t> surface) override;
+  void observe(std::span<const std::int32_t> surface,
+               std::size_t domain) override;
+  std::vector<double> log_posterior(
+      std::span<const std::int32_t> surface) override;
+  std::string name() const override { return "logistic"; }
+
+ private:
+  tensor::Tensor featurize(std::span<const std::int32_t> surface) const;
+
+  std::size_t vocab_;
+  std::size_t domains_;
+  nn::Linear linear_;
+  nn::SoftmaxCrossEntropy loss_;
+  nn::Sgd opt_;
+};
+
+}  // namespace semcache::select

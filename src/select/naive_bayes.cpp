@@ -1,0 +1,70 @@
+#include "select/naive_bayes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace semcache::select {
+
+NaiveBayesSelector::NaiveBayesSelector(std::size_t vocab_size,
+                                       std::size_t num_domains,
+                                       double smoothing)
+    : vocab_(vocab_size),
+      domains_(num_domains),
+      smoothing_(smoothing),
+      word_counts_(num_domains, std::vector<std::uint64_t>(vocab_size, 0)),
+      domain_totals_(num_domains, 0),
+      domain_docs_(num_domains, 0) {
+  SEMCACHE_CHECK(vocab_size >= 1 && num_domains >= 1,
+                 "naive_bayes: bad dimensions");
+  SEMCACHE_CHECK(smoothing > 0.0, "naive_bayes: smoothing must be positive");
+}
+
+void NaiveBayesSelector::observe(std::span<const std::int32_t> surface,
+                                 std::size_t domain) {
+  SEMCACHE_CHECK(domain < domains_, "naive_bayes: domain out of range");
+  for (const auto w : surface) {
+    SEMCACHE_CHECK(w >= 0 && static_cast<std::size_t>(w) < vocab_,
+                   "naive_bayes: word id out of range");
+    ++word_counts_[domain][static_cast<std::size_t>(w)];
+    ++domain_totals_[domain];
+  }
+  ++domain_docs_[domain];
+  ++total_docs_;
+}
+
+std::vector<double> NaiveBayesSelector::log_posterior(
+    std::span<const std::int32_t> surface) {
+  std::vector<double> scores(domains_);
+  for (std::size_t d = 0; d < domains_; ++d) {
+    // Smoothed class prior.
+    double s = std::log(
+        (static_cast<double>(domain_docs_[d]) + 1.0) /
+        (static_cast<double>(total_docs_) + static_cast<double>(domains_)));
+    const double denom = static_cast<double>(domain_totals_[d]) +
+                         smoothing_ * static_cast<double>(vocab_);
+    for (const auto w : surface) {
+      const double count = static_cast<double>(
+          word_counts_[d][static_cast<std::size_t>(w)]);
+      s += std::log((count + smoothing_) / denom);
+    }
+    scores[d] = s;
+  }
+  // Normalize to log-probabilities (log-sum-exp).
+  const double mx = *std::max_element(scores.begin(), scores.end());
+  double sum = 0.0;
+  for (const double s : scores) sum += std::exp(s - mx);
+  const double lse = mx + std::log(sum);
+  for (double& s : scores) s -= lse;
+  return scores;
+}
+
+std::size_t NaiveBayesSelector::select(
+    std::span<const std::int32_t> surface) {
+  const auto scores = log_posterior(surface);
+  return static_cast<std::size_t>(std::distance(
+      scores.begin(), std::max_element(scores.begin(), scores.end())));
+}
+
+}  // namespace semcache::select

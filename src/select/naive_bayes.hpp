@@ -1,0 +1,32 @@
+// Multinomial naive Bayes over surface words — the "traditional
+// classification neural network" strawman of §III-A (we use NB as the
+// classic stateless baseline; the logistic selector is its trained-NN twin).
+#pragma once
+
+#include "select/selector.hpp"
+
+namespace semcache::select {
+
+class NaiveBayesSelector final : public ProbabilisticSelector {
+ public:
+  NaiveBayesSelector(std::size_t vocab_size, std::size_t num_domains,
+                     double smoothing = 1.0);
+
+  std::size_t select(std::span<const std::int32_t> surface) override;
+  void observe(std::span<const std::int32_t> surface,
+               std::size_t domain) override;
+  std::vector<double> log_posterior(
+      std::span<const std::int32_t> surface) override;
+  std::string name() const override { return "naive_bayes"; }
+
+ private:
+  std::size_t vocab_;
+  std::size_t domains_;
+  double smoothing_;
+  std::vector<std::vector<std::uint64_t>> word_counts_;  // [domain][word]
+  std::vector<std::uint64_t> domain_totals_;             // words per domain
+  std::vector<std::uint64_t> domain_docs_;               // docs per domain
+  std::uint64_t total_docs_ = 0;
+};
+
+}  // namespace semcache::select

@@ -1,0 +1,53 @@
+// Model-selection interface (§III-A): given an incoming message (surface
+// ids), choose the domain-specialized KB model to encode/decode it with.
+//
+// Stateless selectors classify each message in isolation; context-aware
+// selectors carry conversation state ("the user's preferences and habits")
+// across messages — the comparison E6 quantifies.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "text/corpus.hpp"
+
+namespace semcache::select {
+
+class DomainSelector {
+ public:
+  virtual ~DomainSelector() = default;
+  DomainSelector() = default;
+  DomainSelector(const DomainSelector&) = delete;
+  DomainSelector& operator=(const DomainSelector&) = delete;
+
+  /// Predict the domain of a message.
+  virtual std::size_t select(std::span<const std::int32_t> surface) = 0;
+  /// Supervised training example (offline phase).
+  virtual void observe(std::span<const std::int32_t> surface,
+                       std::size_t domain) = 0;
+  /// Conversation boundary: drop any accumulated context.
+  virtual void reset_context() {}
+  virtual std::string name() const = 0;
+};
+
+/// Selectors that can expose per-class log-probabilities (needed by the
+/// context decorators).
+class ProbabilisticSelector : public DomainSelector {
+ public:
+  virtual std::vector<double> log_posterior(
+      std::span<const std::int32_t> surface) = 0;
+};
+
+/// A synthetic conversation: messages with sticky topics (the domain
+/// switches with probability `switch_prob` between messages).
+struct Conversation {
+  std::vector<text::Sentence> messages;
+};
+
+Conversation generate_conversation(const text::World& world,
+                                   std::size_t length, double switch_prob,
+                                   Rng& rng);
+
+}  // namespace semcache::select

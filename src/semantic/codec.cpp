@@ -1,0 +1,147 @@
+#include "semantic/codec.hpp"
+
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace semcache::semantic {
+
+namespace {
+void validate(const CodecConfig& c) {
+  SEMCACHE_CHECK(c.surface_vocab >= 2, "codec: surface_vocab too small");
+  SEMCACHE_CHECK(c.meaning_vocab >= 2, "codec: meaning_vocab too small");
+  SEMCACHE_CHECK(c.sentence_length >= 1, "codec: sentence_length must be >= 1");
+  SEMCACHE_CHECK(c.embed_dim >= 1 && c.feature_dim >= 1 && c.hidden_dim >= 1,
+                 "codec: dims must be >= 1");
+  SEMCACHE_CHECK(c.feature_dim % c.sentence_length == 0,
+                 "codec: feature_dim must be a multiple of sentence_length "
+                 "(per-position factorization)");
+}
+}  // namespace
+
+KbEncoder::KbEncoder(const CodecConfig& config, Rng& rng)
+    : config_(config), embed_(config.surface_vocab, config.embed_dim, rng,
+                              "enc.embed") {
+  validate(config);
+  // Shared per-position encoder: positions are batch rows.
+  mlp_.add(std::make_unique<nn::Linear>(config.embed_dim, config.hidden_dim,
+                                        rng, "enc.l1"))
+      .add(std::make_unique<nn::ReLU>())
+      .add(std::make_unique<nn::Linear>(config.hidden_dim,
+                                        config.per_position_dims(), rng,
+                                        "enc.l2"))
+      .add(std::make_unique<nn::Tanh>());
+}
+
+Tensor KbEncoder::encode(std::span<const std::int32_t> surface) {
+  SEMCACHE_CHECK(surface.size() == config_.sentence_length,
+                 "encode: expected exactly " +
+                     std::to_string(config_.sentence_length) + " tokens, got " +
+                     std::to_string(surface.size()));
+  const Tensor e = embed_.forward(surface);   // (L x embed)
+  Tensor h = mlp_.forward(e);                 // (L x k/L)
+  h.reshape({1, config_.feature_dim});
+  return h;
+}
+
+void KbEncoder::backward(const Tensor& grad_feature) {
+  Tensor g = grad_feature;
+  g.reshape({config_.sentence_length, config_.per_position_dims()});
+  embed_.backward(mlp_.backward(g));
+}
+
+nn::ParameterSet KbEncoder::parameters() {
+  nn::ParameterSet set;
+  set.add_all(embed_.parameters());
+  set.add_all(mlp_.parameters());
+  return set;
+}
+
+KbDecoder::KbDecoder(const CodecConfig& config, Rng& rng) : config_(config) {
+  validate(config);
+  // Shared per-position decoder: positions are batch rows.
+  mlp_.add(std::make_unique<nn::Linear>(config.per_position_dims(),
+                                        config.hidden_dim, rng, "dec.l1"))
+      .add(std::make_unique<nn::ReLU>())
+      .add(std::make_unique<nn::Linear>(config.hidden_dim,
+                                        config.meaning_vocab, rng, "dec.l2"));
+}
+
+Tensor KbDecoder::decode_logits(const Tensor& feature) {
+  SEMCACHE_CHECK(feature.rank() == 2 && feature.dim(0) == 1 &&
+                     feature.dim(1) == config_.feature_dim,
+                 "decode: feature must be (1 x k)");
+  Tensor f = feature;
+  f.reshape({config_.sentence_length, config_.per_position_dims()});
+  return mlp_.forward(f);  // (L x meaning_vocab)
+}
+
+std::vector<std::int32_t> KbDecoder::decode(const Tensor& feature) {
+  return tensor::row_argmax(decode_logits(feature));
+}
+
+Tensor KbDecoder::backward(const Tensor& grad_logits) {
+  Tensor g = mlp_.backward(grad_logits);  // (L x k/L)
+  g.reshape({1, config_.feature_dim});
+  return g;
+}
+
+nn::ParameterSet KbDecoder::parameters() {
+  nn::ParameterSet set;
+  set.add_all(mlp_.parameters());
+  return set;
+}
+
+SemanticCodec::SemanticCodec(const CodecConfig& config, Rng& rng)
+    : config_(config),
+      encoder_(std::make_unique<KbEncoder>(config, rng)),
+      decoder_(std::make_unique<KbDecoder>(config, rng)) {}
+
+double SemanticCodec::forward_loss(std::span<const std::int32_t> surface,
+                                   std::span<const std::int32_t> meanings,
+                                   float feature_noise, Rng* rng) {
+  SEMCACHE_CHECK(meanings.size() == config_.sentence_length,
+                 "forward_loss: meaning count mismatch");
+  Tensor feature = encoder_->encode(surface);
+  if (feature_noise > 0.0f) {
+    SEMCACHE_CHECK(rng != nullptr, "forward_loss: noise requires an rng");
+    float* pf = feature.data();
+    for (std::size_t i = 0; i < feature.size(); ++i) {
+      pf[i] += static_cast<float>(rng->uniform(-feature_noise, feature_noise));
+    }
+  }
+  const Tensor logits = decoder_->decode_logits(feature);
+  return loss_.forward(logits, meanings);
+}
+
+void SemanticCodec::backward() {
+  const Tensor dlogits = loss_.backward();
+  const Tensor dfeature = decoder_->backward(dlogits);
+  encoder_->backward(dfeature);
+}
+
+std::vector<std::int32_t> SemanticCodec::reconstruct(
+    std::span<const std::int32_t> surface) {
+  return decoder_->decode(encoder_->encode(surface));
+}
+
+nn::ParameterSet SemanticCodec::parameters() {
+  nn::ParameterSet set;
+  set.add_all(encoder_->parameters().params());
+  set.add_all(decoder_->parameters().params());
+  return set;
+}
+
+std::unique_ptr<SemanticCodec> SemanticCodec::clone() const {
+  // Construct with a throwaway rng, then overwrite with our exact weights.
+  Rng scratch(0);
+  auto copy = std::make_unique<SemanticCodec>(config_, scratch);
+  nn::ParameterSet src = const_cast<SemanticCodec*>(this)->parameters();
+  copy->parameters().copy_values_from(src);
+  return copy;
+}
+
+std::size_t SemanticCodec::byte_size() const {
+  return const_cast<SemanticCodec*>(this)->parameters().byte_size();
+}
+
+}  // namespace semcache::semantic

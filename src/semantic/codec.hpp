@@ -1,0 +1,132 @@
+// Knowledge-base encoder/decoder pair (the "KB models" of Fig. 1).
+//
+// KbEncoder: surface-token ids -> k-dim semantic feature in (-1, 1)^k.
+// KbDecoder: semantic feature  -> per-position logits over the MEANING
+// vocabulary. Decoding recovers the *sense* of each word, so a decoder
+// trained on the IT domain maps the surface word "bus" to bus#it while the
+// transport decoder maps it to bus#transport — the paper's §II-A example.
+//
+// Architecture: per-position factorized with shared weights (the shape
+// DeepSC-style transformer codecs use per token). Each of the L positions
+// owns k/L feature dimensions; the same embed->MLP encoder and MLP->logits
+// decoder processes every position (position = batch row). This keeps the
+// parameter count small, converges quickly, and makes the bottleneck
+// interpretable: k/L tanh-bounded floats per word-sense.
+//
+// The feature dimension k is the semantic bottleneck: it is what gets
+// quantized and transmitted, replacing the raw text bits of traditional
+// communication.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "common/rng.hpp"
+#include "nn/gradcheck.hpp"
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+#include "nn/model.hpp"
+
+namespace semcache::semantic {
+
+using nn::Parameter;
+using tensor::Tensor;
+
+struct CodecConfig {
+  std::size_t surface_vocab = 0;    ///< input vocabulary size
+  std::size_t meaning_vocab = 0;    ///< output (sense) vocabulary size
+  std::size_t sentence_length = 8;  ///< fixed token window L
+  std::size_t embed_dim = 20;
+  /// k, the transmitted bottleneck; must be a multiple of sentence_length
+  /// (each position owns k/L dims).
+  std::size_t feature_dim = 16;
+  std::size_t hidden_dim = 48;
+
+  std::size_t per_position_dims() const {
+    return feature_dim / sentence_length;
+  }
+};
+
+/// Semantic feature extractor (one per domain per edge server).
+class KbEncoder {
+ public:
+  KbEncoder(const CodecConfig& config, Rng& rng);
+
+  /// surface.size() must equal config.sentence_length; returns (1 x k)
+  /// features bounded to (-1, 1) by the final tanh.
+  Tensor encode(std::span<const std::int32_t> surface);
+  /// Accumulate gradients given dL/dfeature (1 x k).
+  void backward(const Tensor& grad_feature);
+
+  nn::ParameterSet parameters();
+  const CodecConfig& config() const { return config_; }
+
+ private:
+  CodecConfig config_;
+  nn::Embedding embed_;
+  nn::Sequential mlp_;
+};
+
+/// Semantic feature restorer (the KB-decoder; replicated as the sender-side
+/// "decoder copy" in §II-C).
+class KbDecoder {
+ public:
+  KbDecoder(const CodecConfig& config, Rng& rng);
+
+  /// feature: (1 x k). Returns (L x meaning_vocab) logits.
+  Tensor decode_logits(const Tensor& feature);
+  /// Greedy decode to meaning ids.
+  std::vector<std::int32_t> decode(const Tensor& feature);
+  /// Accumulate gradients given dL/dlogits (L x V); returns dL/dfeature.
+  Tensor backward(const Tensor& grad_logits);
+
+  nn::ParameterSet parameters();
+  const CodecConfig& config() const { return config_; }
+
+ private:
+  CodecConfig config_;
+  nn::Sequential mlp_;
+};
+
+/// An encoder/decoder pair trained jointly — a complete KB model.
+class SemanticCodec {
+ public:
+  SemanticCodec(const CodecConfig& config, Rng& rng);
+
+  KbEncoder& encoder() { return *encoder_; }
+  KbDecoder& decoder() { return *decoder_; }
+  const CodecConfig& config() const { return config_; }
+
+  /// Joint forward: encode then decode; fills the internal loss state.
+  /// Returns mean cross-entropy over the L positions.
+  ///
+  /// `feature_noise` > 0 adds uniform noise in [-noise, noise] to the
+  /// feature between encoder and decoder (quantization-aware training: the
+  /// decoder learns to tolerate the quantizer's worst-case error). The
+  /// noise is additive, so the straight-through gradient is exact.
+  double forward_loss(std::span<const std::int32_t> surface,
+                      std::span<const std::int32_t> meanings,
+                      float feature_noise = 0.0f, Rng* rng = nullptr);
+  /// Backward through decoder and encoder; call after forward_loss.
+  void backward();
+
+  /// End-to-end greedy reconstruction (clean features, no channel).
+  std::vector<std::int32_t> reconstruct(std::span<const std::int32_t> surface);
+
+  nn::ParameterSet parameters();
+  /// Deep copy with byte-identical weights (used to spawn user models from
+  /// general models, Fig. 1 step ②).
+  std::unique_ptr<SemanticCodec> clone() const;
+
+  /// Serialized model size in bytes (what caching charges, E5).
+  std::size_t byte_size() const;
+
+ private:
+  CodecConfig config_;
+  std::unique_ptr<KbEncoder> encoder_;
+  std::unique_ptr<KbDecoder> decoder_;
+  nn::SoftmaxCrossEntropy loss_;
+};
+
+}  // namespace semcache::semantic

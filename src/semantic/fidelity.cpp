@@ -1,0 +1,51 @@
+#include "semantic/fidelity.hpp"
+
+#include "metrics/ngram.hpp"
+
+namespace semcache::semantic {
+
+namespace {
+FidelityReport evaluate_impl(SemanticCodec& codec,
+                             const std::function<Sample()>& next,
+                             std::size_t sentences) {
+  FidelityReport report;
+  metrics::OnlineStats acc;
+  metrics::OnlineStats bleu;
+  metrics::OnlineStats loss;
+  std::size_t exact = 0;
+  for (std::size_t i = 0; i < sentences; ++i) {
+    const Sample s = next();
+    loss.add(codec.forward_loss(s.surface, s.meanings));
+    const auto decoded = codec.reconstruct(s.surface);
+    acc.add(metrics::token_accuracy(s.meanings, decoded));
+    bleu.add(metrics::bleu(s.meanings, decoded, 2));
+    if (decoded == s.meanings) ++exact;
+  }
+  report.token_accuracy = acc.mean();
+  report.bleu = bleu.mean();
+  report.mean_loss = loss.mean();
+  report.sentence_exact =
+      sentences == 0 ? 0.0
+                     : static_cast<double>(exact) / static_cast<double>(sentences);
+  report.sentences = sentences;
+  return report;
+}
+}  // namespace
+
+FidelityReport evaluate_codec(SemanticCodec& codec, const text::World& world,
+                              std::size_t domain, std::size_t sentences,
+                              Rng& rng, const text::Idiolect* idiolect) {
+  return evaluate_impl(
+      codec,
+      [&] { return CodecTrainer::draw_sample(world, domain, idiolect, rng); },
+      sentences);
+}
+
+FidelityReport evaluate_on_samples(SemanticCodec& codec,
+                                   std::span<const Sample> samples) {
+  std::size_t i = 0;
+  return evaluate_impl(
+      codec, [&]() -> Sample { return samples[i++]; }, samples.size());
+}
+
+}  // namespace semcache::semantic

@@ -1,0 +1,60 @@
+#include "semantic/quantizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace semcache::semantic {
+
+FeatureQuantizer::FeatureQuantizer(std::size_t dims, unsigned bits_per_dim)
+    : dims_(dims), bits_(bits_per_dim), levels_(1u << bits_per_dim) {
+  SEMCACHE_CHECK(dims >= 1, "quantizer: dims must be >= 1");
+  SEMCACHE_CHECK(bits_per_dim >= 1 && bits_per_dim <= 16,
+                 "quantizer: bits_per_dim must be in [1, 16]");
+}
+
+BitVec FeatureQuantizer::quantize(const tensor::Tensor& feature) const {
+  SEMCACHE_CHECK(feature.size() == dims_,
+                 "quantizer: feature has " + std::to_string(feature.size()) +
+                     " dims, expected " + std::to_string(dims_));
+  BitVec bits;
+  bits.reserve(total_bits());
+  for (std::size_t i = 0; i < dims_; ++i) {
+    const float x = std::clamp(feature.at(i), -1.0f, 1.0f);
+    // Map [-1, 1] onto [0, levels-1].
+    auto level = static_cast<std::uint32_t>(
+        std::lround((static_cast<double>(x) + 1.0) / 2.0 *
+                    static_cast<double>(levels_ - 1)));
+    level = std::min(level, levels_ - 1);
+    append_bits(bits, level, bits_);
+  }
+  return bits;
+}
+
+tensor::Tensor FeatureQuantizer::dequantize(const BitVec& bits) const {
+  SEMCACHE_CHECK(bits.size() == total_bits(),
+                 "quantizer: expected " + std::to_string(total_bits()) +
+                     " bits, got " + std::to_string(bits.size()));
+  tensor::Tensor out({1, dims_});
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < dims_; ++i) {
+    const auto level = static_cast<std::uint32_t>(read_bits(bits, pos, bits_));
+    const double x = 2.0 * static_cast<double>(level) /
+                         static_cast<double>(levels_ - 1) -
+                     1.0;
+    out.at(0, i) = static_cast<float>(x);
+  }
+  return out;
+}
+
+tensor::Tensor FeatureQuantizer::roundtrip(
+    const tensor::Tensor& feature) const {
+  return dequantize(quantize(feature));
+}
+
+double FeatureQuantizer::max_error() const {
+  return 1.0 / static_cast<double>(levels_ - 1);
+}
+
+}  // namespace semcache::semantic

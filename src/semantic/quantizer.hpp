@@ -1,0 +1,42 @@
+// Uniform feature quantizer: k tanh-bounded floats -> k*b bits.
+//
+// This is the boundary between the learned semantic representation and the
+// bit-level channel stack: the transmitted payload of a semantic message is
+// exactly quantize()'s output.
+#pragma once
+
+#include "common/bits.hpp"
+#include "tensor/tensor.hpp"
+
+namespace semcache::semantic {
+
+class FeatureQuantizer {
+ public:
+  /// dims = feature dimension k; bits_per_dim in [1, 16]. Values are
+  /// clamped to [-1, 1] before quantization (the encoder's tanh guarantees
+  /// the range, clamping guards against channel-corrupted reconstructions).
+  FeatureQuantizer(std::size_t dims, unsigned bits_per_dim);
+
+  /// (1 x dims) feature -> dims*bits_per_dim bits (LSB-first per dim).
+  BitVec quantize(const tensor::Tensor& feature) const;
+  /// Inverse mapping to mid-rise reconstruction levels; returns (1 x dims).
+  tensor::Tensor dequantize(const BitVec& bits) const;
+
+  /// Quantize-then-dequantize, the distortion the receiver sees on a clean
+  /// channel.
+  tensor::Tensor roundtrip(const tensor::Tensor& feature) const;
+
+  std::size_t dims() const { return dims_; }
+  unsigned bits_per_dim() const { return bits_; }
+  std::size_t total_bits() const { return dims_ * bits_; }
+  std::size_t payload_bytes() const { return (total_bits() + 7) / 8; }
+  /// Worst-case absolute reconstruction error per dimension.
+  double max_error() const;
+
+ private:
+  std::size_t dims_;
+  unsigned bits_;
+  std::uint32_t levels_;
+};
+
+}  // namespace semcache::semantic

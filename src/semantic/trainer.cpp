@@ -1,0 +1,83 @@
+#include "semantic/trainer.hpp"
+
+#include "nn/optimizer.hpp"
+
+namespace semcache::semantic {
+
+namespace {
+TrainStats run_steps(SemanticCodec& codec, const TrainConfig& config,
+                     const std::function<Sample()>& next_sample, Rng& rng) {
+  nn::Adam opt(config.lr);
+  nn::ParameterSet params = codec.parameters();
+  TrainStats stats;
+  for (std::size_t step = 0; step < config.steps; ++step) {
+    const Sample s = next_sample();
+    nn::Optimizer::zero_grad(params.params());
+    const double loss = codec.forward_loss(
+        s.surface, s.meanings, static_cast<float>(config.feature_noise), &rng);
+    codec.backward();
+    nn::Optimizer::clip_grad_norm(params.params(), config.grad_clip);
+    opt.step(params.params());
+    if (step == 0) stats.first_loss = loss;
+    stats.final_loss = loss;
+    ++stats.steps;
+  }
+  return stats;
+}
+}  // namespace
+
+Sample CodecTrainer::draw_sample(const text::World& world, std::size_t domain,
+                                 const text::Idiolect* idiolect, Rng& rng) {
+  text::Sentence s = world.sample_sentence(domain, rng);
+  if (idiolect != nullptr) idiolect->apply(s);
+  return {std::move(s.surface), std::move(s.meanings)};
+}
+
+TrainStats CodecTrainer::pretrain_domain(SemanticCodec& codec,
+                                         const text::World& world,
+                                         std::size_t domain,
+                                         const TrainConfig& config, Rng& rng) {
+  return run_steps(codec, config, [&] {
+    return draw_sample(world, domain, nullptr, rng);
+  }, rng);
+}
+
+TrainStats CodecTrainer::pretrain_pooled(SemanticCodec& codec,
+                                         const text::World& world,
+                                         const TrainConfig& config, Rng& rng) {
+  return run_steps(codec, config, [&] {
+    const auto domain = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(world.num_domains()) - 1));
+    return draw_sample(world, domain, nullptr, rng);
+  }, rng);
+}
+
+TrainStats CodecTrainer::finetune(SemanticCodec& codec,
+                                  std::span<const Sample> samples,
+                                  std::size_t epochs, double lr, Rng& rng,
+                                  double feature_noise) {
+  SEMCACHE_CHECK(!samples.empty(), "finetune: no samples");
+  nn::Adam opt(lr);
+  nn::ParameterSet params = codec.parameters();
+  TrainStats stats;
+  std::vector<std::size_t> order(samples.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    rng.shuffle(order);
+    for (const std::size_t idx : order) {
+      const Sample& s = samples[idx];
+      nn::Optimizer::zero_grad(params.params());
+      const double loss = codec.forward_loss(
+          s.surface, s.meanings, static_cast<float>(feature_noise), &rng);
+      codec.backward();
+      nn::Optimizer::clip_grad_norm(params.params(), 5.0);
+      opt.step(params.params());
+      if (stats.steps == 0) stats.first_loss = loss;
+      stats.final_loss = loss;
+      ++stats.steps;
+    }
+  }
+  return stats;
+}
+
+}  // namespace semcache::semantic

@@ -1,0 +1,188 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace semcache::tensor {
+
+namespace {
+void require_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  SEMCACHE_CHECK(a.same_shape(b), std::string(op) + ": shape mismatch " +
+                                      a.shape_string() + " vs " +
+                                      b.shape_string());
+}
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "add");
+  Tensor c = a;
+  float* pc = c.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < c.size(); ++i) pc[i] += pb[i];
+  return c;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "sub");
+  Tensor c = a;
+  float* pc = c.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < c.size(); ++i) pc[i] -= pb[i];
+  return c;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "mul");
+  Tensor c = a;
+  float* pc = c.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < c.size(); ++i) pc[i] *= pb[i];
+  return c;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor c = a;
+  float* pc = c.data();
+  for (std::size_t i = 0; i < c.size(); ++i) pc[i] *= s;
+  return c;
+}
+
+Tensor& add_inplace(Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "add_inplace");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) pa[i] += pb[i];
+  return a;
+}
+
+Tensor& axpy_inplace(Tensor& a, const Tensor& b, float s) {
+  require_same_shape(a, b, "axpy_inplace");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) pa[i] += pb[i] * s;
+  return a;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  SEMCACHE_CHECK(a.rank() == 2 && b.rank() == 2, "matmul: rank-2 required");
+  SEMCACHE_CHECK(a.dim(1) == b.dim(0),
+                 "matmul: inner dims differ, " + a.shape_string() + " * " +
+                     b.shape_string());
+  const std::size_t m = a.dim(0);
+  const std::size_t k = a.dim(1);
+  const std::size_t n = b.dim(1);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // ikj loop order: streams through b and c rows, cache-friendly.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  SEMCACHE_CHECK(a.rank() == 2, "transpose: rank-2 required");
+  const std::size_t m = a.dim(0);
+  const std::size_t n = a.dim(1);
+  Tensor t({n, m});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) t.at(j, i) = a.at(i, j);
+  }
+  return t;
+}
+
+Tensor affine(const Tensor& x, const Tensor& w, const Tensor& bias) {
+  SEMCACHE_CHECK(bias.rank() == 1, "affine: bias must be rank-1");
+  SEMCACHE_CHECK(w.rank() == 2 && bias.dim(0) == w.dim(1),
+                 "affine: bias length must equal W cols");
+  Tensor y = matmul(x, w);
+  const std::size_t m = y.dim(0);
+  const std::size_t n = y.dim(1);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) y.at(i, j) += bias.at(j);
+  }
+  return y;
+}
+
+Tensor row_softmax(const Tensor& logits) {
+  SEMCACHE_CHECK(logits.rank() == 2, "row_softmax: rank-2 required");
+  Tensor out = logits;
+  const std::size_t m = out.dim(0);
+  const std::size_t n = out.dim(1);
+  for (std::size_t i = 0; i < m; ++i) {
+    float* row = out.data() + i * n;
+    float mx = row[0];
+    for (std::size_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+    float denom = 0.0f;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float e = std::exp(row[j] - mx);
+      row[j] = e;
+      denom += e;
+    }
+    const float inv = 1.0f / denom;
+    for (std::size_t j = 0; j < n; ++j) row[j] *= inv;
+  }
+  return out;
+}
+
+std::vector<std::int32_t> row_argmax(const Tensor& t) {
+  SEMCACHE_CHECK(t.rank() == 2, "row_argmax: rank-2 required");
+  std::vector<std::int32_t> out(t.dim(0));
+  for (std::size_t i = 0; i < t.dim(0); ++i) {
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < t.dim(1); ++j) {
+      if (t.at(i, j) > t.at(i, best)) best = j;
+    }
+    out[i] = static_cast<std::int32_t>(best);
+  }
+  return out;
+}
+
+Tensor map(const Tensor& a, const std::function<float(float)>& f) {
+  Tensor c = a;
+  for (std::size_t i = 0; i < c.size(); ++i) c.at(i) = f(c.at(i));
+  return c;
+}
+
+float sum(const Tensor& a) {
+  float s = 0.0f;
+  for (const float x : a.flat()) s += x;
+  return s;
+}
+
+float mean(const Tensor& a) {
+  SEMCACHE_CHECK(a.size() > 0, "mean: empty tensor");
+  return sum(a) / static_cast<float>(a.size());
+}
+
+float dot(const Tensor& a, const Tensor& b) {
+  SEMCACHE_CHECK(a.size() == b.size(), "dot: size mismatch");
+  float s = 0.0f;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) s += pa[i] * pb[i];
+  return s;
+}
+
+float l2_norm(const Tensor& a) { return std::sqrt(dot(a, a)); }
+
+Tensor column_sums(const Tensor& a) {
+  SEMCACHE_CHECK(a.rank() == 2, "column_sums: rank-2 required");
+  Tensor out({a.dim(1)});
+  for (std::size_t i = 0; i < a.dim(0); ++i) {
+    for (std::size_t j = 0; j < a.dim(1); ++j) out.at(j) += a.at(i, j);
+  }
+  return out;
+}
+
+}  // namespace semcache::tensor

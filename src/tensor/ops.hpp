@@ -1,0 +1,54 @@
+// Free-function tensor operations. All functions validate shapes and return
+// fresh tensors (value semantics); in-place accumulation variants exist for
+// the hot gradient paths.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace semcache::tensor {
+
+/// c = a + b (same shape).
+Tensor add(const Tensor& a, const Tensor& b);
+/// c = a - b (same shape).
+Tensor sub(const Tensor& a, const Tensor& b);
+/// c = a ⊙ b, element-wise product (same shape).
+Tensor mul(const Tensor& a, const Tensor& b);
+/// c = a * s.
+Tensor scale(const Tensor& a, float s);
+/// a += b (same shape), returns a reference to a.
+Tensor& add_inplace(Tensor& a, const Tensor& b);
+/// a += b * s (same shape); fused scale-accumulate for optimizers.
+Tensor& axpy_inplace(Tensor& a, const Tensor& b, float s);
+
+/// Matrix product of rank-2 tensors: (m x k) * (k x n) -> (m x n).
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// Transpose of a rank-2 tensor.
+Tensor transpose(const Tensor& a);
+/// y = x * W + broadcast(bias): x (m x k), w (k x n), bias rank-1 (n).
+Tensor affine(const Tensor& x, const Tensor& w, const Tensor& bias);
+
+/// Row-wise softmax of a rank-2 tensor (numerically stabilized).
+Tensor row_softmax(const Tensor& logits);
+/// Row-wise argmax of a rank-2 tensor.
+std::vector<std::int32_t> row_argmax(const Tensor& t);
+
+/// Apply f element-wise.
+Tensor map(const Tensor& a, const std::function<float(float)>& f);
+
+/// Sum of all elements.
+float sum(const Tensor& a);
+/// Mean of all elements.
+float mean(const Tensor& a);
+/// Dot product of two same-shape tensors viewed flat.
+float dot(const Tensor& a, const Tensor& b);
+/// L2 norm over all elements.
+float l2_norm(const Tensor& a);
+
+/// Sum rows of a rank-2 tensor into a rank-1 tensor of length cols.
+Tensor column_sums(const Tensor& a);
+
+}  // namespace semcache::tensor

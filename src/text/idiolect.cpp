@@ -1,0 +1,42 @@
+#include "text/idiolect.hpp"
+
+#include "common/check.hpp"
+
+namespace semcache::text {
+
+Idiolect Idiolect::generate(World& world, const IdiolectConfig& config,
+                            Rng& rng) {
+  SEMCACHE_CHECK(config.substitution_rate >= 0.0 &&
+                     config.substitution_rate <= 1.0,
+                 "Idiolect: substitution_rate must be in [0, 1]");
+  Idiolect idio;
+  for (std::size_t d = 0; d < world.num_domains(); ++d) {
+    const auto& concepts = world.domain_meanings(d);
+    for (const std::int32_t mid : concepts) {
+      if (!rng.bernoulli(config.substitution_rate)) continue;
+      std::int32_t surface;
+      if (rng.bernoulli(config.slang_prob) && world.slang_remaining() > 0) {
+        surface = world.take_slang_surface();
+      } else {
+        // Repurpose another concept's surface from the same domain.
+        const std::int32_t other = concepts[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(concepts.size()) - 1))];
+        surface = world.meaning(other).surface;
+        if (surface == world.meaning(mid).surface) continue;
+      }
+      idio.map_[mid] = surface;
+    }
+  }
+  return idio;
+}
+
+void Idiolect::apply(Sentence& sentence) const {
+  SEMCACHE_CHECK(sentence.surface.size() == sentence.meanings.size(),
+                 "Idiolect::apply: malformed sentence");
+  for (std::size_t i = 0; i < sentence.meanings.size(); ++i) {
+    const auto it = map_.find(sentence.meanings[i]);
+    if (it != map_.end()) sentence.surface[i] = it->second;
+  }
+}
+
+}  // namespace semcache::text

@@ -1,0 +1,48 @@
+// User idiolects: systematic, user-specific surface-word substitutions.
+//
+// §II-B argues a general model "may not accurately capture the nuances and
+// context-specific language usage of individual users". We model an
+// idiolect as a deterministic map meaning -> alternative surface word: the
+// user utters some concepts with private slang (drawn from the world's
+// pre-generated slang pool) or repurposes an existing word. A general
+// encoder has never seen these surfaces used for those meanings, so its
+// reconstructions fail exactly on idiolect positions until the user-specific
+// model adapts (E3).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "text/corpus.hpp"
+
+namespace semcache::text {
+
+struct IdiolectConfig {
+  /// Fraction of a domain's exclusive concepts the user renames.
+  double substitution_rate = 0.25;
+  /// Probability a substitution uses fresh slang (vs. repurposing another
+  /// existing in-domain surface word).
+  double slang_prob = 0.7;
+};
+
+class Idiolect {
+ public:
+  /// Build a user's idiolect over all domains of the world. Draws slang
+  /// surfaces from world's pool (mutates the pool cursor only).
+  static Idiolect generate(World& world, const IdiolectConfig& config,
+                           Rng& rng);
+
+  /// Rewrite the sentence's surface forms in place; meanings are untouched
+  /// (the user means the same thing, they just say it differently).
+  void apply(Sentence& sentence) const;
+
+  /// Number of remapped meanings.
+  std::size_t size() const { return map_.size(); }
+  bool remaps(std::int32_t meaning_id) const { return map_.contains(meaning_id); }
+
+ private:
+  std::unordered_map<std::int32_t, std::int32_t> map_;  // meaning -> surface
+};
+
+}  // namespace semcache::text

@@ -1,0 +1,47 @@
+#include "text/tokenizer.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace semcache::text {
+
+std::vector<std::string> split_words(const std::string& line) {
+  std::vector<std::string> words;
+  std::string current;
+  for (const char ch : line) {
+    const auto c = static_cast<unsigned char>(ch);
+    if (std::isalnum(c) || ch == '_' || ch == '#') {
+      current += static_cast<char>(std::tolower(c));
+    } else if (!current.empty()) {
+      words.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) words.push_back(std::move(current));
+  return words;
+}
+
+std::vector<std::int32_t> tokenize(const Vocab& vocab,
+                                   const std::string& line) {
+  std::vector<std::int32_t> ids;
+  for (const auto& w : split_words(line)) ids.push_back(vocab.id(w));
+  return ids;
+}
+
+std::string detokenize(const Vocab& vocab,
+                       std::span<const std::int32_t> ids) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i != 0) os << ' ';
+    os << vocab.word(ids[i]);
+  }
+  return os.str();
+}
+
+std::vector<std::int32_t> pad_to(std::vector<std::int32_t> ids,
+                                 std::size_t length) {
+  ids.resize(length, Vocab::kPad);
+  return ids;
+}
+
+}  // namespace semcache::text

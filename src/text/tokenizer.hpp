@@ -1,0 +1,28 @@
+// Whitespace tokenizer for turning human-typed strings into surface-id
+// sequences (used by the interactive examples; experiments sample directly
+// from World).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "text/vocab.hpp"
+
+namespace semcache::text {
+
+/// Lowercase, strip punctuation, split on whitespace.
+std::vector<std::string> split_words(const std::string& line);
+
+/// Tokenize against a fixed vocabulary; unknown words map to Vocab::kUnk.
+std::vector<std::int32_t> tokenize(const Vocab& vocab, const std::string& line);
+
+/// Join ids back into a space-separated string.
+std::string detokenize(const Vocab& vocab, std::span<const std::int32_t> ids);
+
+/// Pad or truncate a token sequence to exactly `length` (pads with kPad).
+std::vector<std::int32_t> pad_to(std::vector<std::int32_t> ids,
+                                 std::size_t length);
+
+}  // namespace semcache::text

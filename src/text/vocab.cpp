@@ -1,0 +1,37 @@
+#include "text/vocab.hpp"
+
+#include "common/check.hpp"
+
+namespace semcache::text {
+
+Vocab::Vocab() {
+  add("<pad>");
+  add("<unk>");
+}
+
+std::int32_t Vocab::add(const std::string& word) {
+  SEMCACHE_CHECK(!word.empty(), "Vocab::add: empty word");
+  const auto it = index_.find(word);
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<std::int32_t>(words_.size());
+  words_.push_back(word);
+  index_.emplace(word, id);
+  return id;
+}
+
+std::int32_t Vocab::id(const std::string& word) const {
+  const auto it = index_.find(word);
+  return it == index_.end() ? kUnk : it->second;
+}
+
+bool Vocab::contains(const std::string& word) const {
+  return index_.contains(word);
+}
+
+const std::string& Vocab::word(std::int32_t id) const {
+  SEMCACHE_CHECK(id >= 0 && static_cast<std::size_t>(id) < words_.size(),
+                 "Vocab::word: id out of range");
+  return words_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace semcache::text

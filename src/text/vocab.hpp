@@ -1,0 +1,32 @@
+// Surface-word vocabulary: bidirectional word <-> id mapping with reserved
+// <pad>/<unk> entries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace semcache::text {
+
+class Vocab {
+ public:
+  static constexpr std::int32_t kPad = 0;
+  static constexpr std::int32_t kUnk = 1;
+
+  Vocab();
+
+  /// Insert a word if absent; returns its id either way.
+  std::int32_t add(const std::string& word);
+  /// Id of a word, or kUnk if the word is unknown.
+  std::int32_t id(const std::string& word) const;
+  bool contains(const std::string& word) const;
+  const std::string& word(std::int32_t id) const;
+  std::size_t size() const { return words_.size(); }
+
+ private:
+  std::vector<std::string> words_;
+  std::unordered_map<std::string, std::int32_t> index_;
+};
+
+}  // namespace semcache::text

@@ -1,0 +1,34 @@
+#include "text/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace semcache::text {
+
+ZipfSampler::ZipfSampler(std::size_t n, double alpha) : alpha_(alpha) {
+  SEMCACHE_CHECK(n > 0, "ZipfSampler: n must be positive");
+  SEMCACHE_CHECK(alpha >= 0.0, "ZipfSampler: alpha must be non-negative");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), alpha);
+    cdf_[r] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+}
+
+double ZipfSampler::pmf(std::size_t rank) const {
+  SEMCACHE_CHECK(rank < cdf_.size(), "ZipfSampler::pmf: rank out of range");
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace semcache::text

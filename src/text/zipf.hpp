@@ -1,0 +1,26 @@
+// Zipf-distributed sampling, used for word frequencies inside a domain and
+// for domain popularity in the caching experiments (E5).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace semcache::text {
+
+/// Samples rank r in {0..n-1} with probability proportional to 1/(r+1)^alpha.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double alpha);
+
+  std::size_t sample(Rng& rng) const;
+  double pmf(std::size_t rank) const;
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  double alpha_;
+  std::vector<double> cdf_;  // inclusive cumulative probabilities
+};
+
+}  // namespace semcache::text

@@ -1,0 +1,118 @@
+// Tests for the stop-and-wait ARQ extension (§III-C reliability): delivery
+// semantics, retry accounting, airtime cost, and the semantic-vs-ARQ
+// trade-off the E8 family measures.
+#include <gtest/gtest.h>
+
+#include "channel/arq.hpp"
+#include "channel/convolutional.hpp"
+#include "common/check.hpp"
+
+namespace semcache::channel {
+namespace {
+
+BitVec random_bits(std::size_t n, Rng& rng) {
+  BitVec bits(n);
+  for (auto& b : bits) b = rng.bernoulli(0.5) ? 1 : 0;
+  return bits;
+}
+
+TEST(Arq, CleanChannelSingleAttempt) {
+  Rng rng(1);
+  ArqPipeline arq(make_bsc_pipeline(std::make_unique<IdentityCode>(), 0.0), 4);
+  const BitVec payload = random_bits(64, rng);
+  const ArqResult r = arq.transmit(payload, rng);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.attempts, 1u);
+  EXPECT_EQ(r.payload, payload);
+  EXPECT_EQ(r.airtime_bits, payload.size() + 32);  // + CRC trailer
+}
+
+TEST(Arq, RetriesUntilDelivered) {
+  // At BER 0.5% over 112 framed bits, p(clean attempt) ~ 0.57, so eight
+  // tries deliver with probability ~0.999 — and retries genuinely happen.
+  Rng rng(2);
+  std::size_t delivered = 0;
+  std::size_t attempts_sum = 0;
+  for (int i = 0; i < 50; ++i) {
+    ArqPipeline arq(make_bsc_pipeline(std::make_unique<IdentityCode>(), 0.005),
+                    8);
+    const BitVec payload = random_bits(80, rng);
+    const ArqResult r = arq.transmit(payload, rng);
+    if (r.delivered) {
+      ++delivered;
+      EXPECT_EQ(r.payload, payload);  // CRC-verified => exact
+    }
+    attempts_sum += r.attempts;
+  }
+  EXPECT_GE(delivered, 45u);
+  EXPECT_GT(attempts_sum, 55u);  // retransmissions actually happened
+}
+
+TEST(Arq, GivesUpAfterBudget) {
+  Rng rng(3);
+  // Half the bits flip: CRC can never pass.
+  ArqPipeline arq(make_bsc_pipeline(std::make_unique<IdentityCode>(), 0.5), 3);
+  const BitVec payload = random_bits(64, rng);
+  const ArqResult r = arq.transmit(payload, rng);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.attempts, 3u);
+  EXPECT_EQ(r.payload.size(), payload.size());  // still surfaces a payload
+}
+
+TEST(Arq, AirtimeAccumulatesAcrossAttempts) {
+  Rng rng(4);
+  ArqPipeline arq(make_bsc_pipeline(std::make_unique<IdentityCode>(), 0.5), 5);
+  const BitVec payload = random_bits(40, rng);
+  const ArqResult r = arq.transmit(payload, rng);
+  EXPECT_EQ(r.attempts, 5u);
+  EXPECT_EQ(r.airtime_bits, 5u * (payload.size() + 32));
+}
+
+TEST(Arq, CodedArqNeedsFewerRetries) {
+  Rng rng_a(5), rng_b(5);
+  std::size_t uncoded_attempts = 0, coded_attempts = 0;
+  for (int i = 0; i < 40; ++i) {
+    Rng prng(static_cast<std::uint64_t>(i));
+    const BitVec payload = random_bits(96, prng);
+    ArqPipeline uncoded(
+        make_bsc_pipeline(std::make_unique<IdentityCode>(), 0.02), 16);
+    ArqPipeline coded(
+        make_bsc_pipeline(std::make_unique<ConvolutionalCode>(), 0.02), 16);
+    uncoded_attempts += uncoded.transmit(payload, rng_a).attempts;
+    coded_attempts += coded.transmit(payload, rng_b).attempts;
+  }
+  EXPECT_LT(coded_attempts, uncoded_attempts);
+}
+
+TEST(Arq, ValidatesArguments) {
+  EXPECT_THROW(
+      ArqPipeline(make_bsc_pipeline(std::make_unique<IdentityCode>(), 0.0), 0),
+      Error);
+  EXPECT_THROW(ArqPipeline(nullptr, 3), Error);
+}
+
+// Retry budget sweep: delivery probability is monotone in the budget.
+class ArqBudgetSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ArqBudgetSweep, DeliveryRateGrowsWithBudget) {
+  Rng rng(6);
+  std::size_t delivered = 0;
+  for (int i = 0; i < 60; ++i) {
+    ArqPipeline arq(make_bsc_pipeline(std::make_unique<IdentityCode>(), 0.03),
+                    GetParam());
+    const BitVec payload = random_bits(64, rng);
+    if (arq.transmit(payload, rng).delivered) ++delivered;
+  }
+  // Rough analytic floor: p_clean ≈ 0.97^96 ≈ 0.053 per attempt.
+  if (GetParam() >= 16) {
+    EXPECT_GE(delivered, 30u);
+  }
+  // Stash for cross-parameter monotonicity via recorded property.
+  RecordProperty("delivered", static_cast<int>(delivered));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ArqBudgetSweep,
+                         ::testing::Values(1, 4, 16, 64));
+
+}  // namespace
+}  // namespace semcache::channel

@@ -1,0 +1,262 @@
+// Unit tests for semcache::cache — eviction policy behaviours, byte-capacity
+// accounting, and the cloud model registry.
+#include <gtest/gtest.h>
+
+#include "cache/cache.hpp"
+#include "cache/policy.hpp"
+#include "cache/registry.hpp"
+#include "common/check.hpp"
+#include "text/zipf.hpp"
+
+namespace semcache::cache {
+namespace {
+
+using StringCache = Cache<std::string>;
+
+std::shared_ptr<std::string> val(const std::string& s) {
+  return std::make_shared<std::string>(s);
+}
+
+EntryInfo info(std::size_t size, double cost = 1.0) {
+  EntryInfo e;
+  e.size_bytes = size;
+  e.fetch_cost = cost;
+  return e;
+}
+
+TEST(CacheBasics, HitAndMissAccounting) {
+  StringCache c(100, make_lru_policy());
+  EXPECT_EQ(c.get("a"), nullptr);
+  c.put("a", val("A"), info(10));
+  const auto hit = c.get("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "A");
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(c.stats().hit_rate(), 0.5);
+}
+
+TEST(CacheBasics, PeekDoesNotTouchStats) {
+  StringCache c(100, make_lru_policy());
+  c.put("a", val("A"), info(10));
+  EXPECT_NE(c.peek("a"), nullptr);
+  EXPECT_EQ(c.peek("b"), nullptr);
+  EXPECT_EQ(c.stats().hits, 0u);
+  EXPECT_EQ(c.stats().misses, 0u);
+}
+
+TEST(CacheBasics, CapacityNeverExceeded) {
+  StringCache c(30, make_lru_policy());
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const auto size = static_cast<std::size_t>(rng.uniform_int(1, 15));
+    c.put("k" + std::to_string(i), val("v"), info(size));
+    EXPECT_LE(c.used_bytes(), c.capacity_bytes());
+  }
+}
+
+TEST(CacheBasics, OversizedEntryRejected) {
+  StringCache c(10, make_lru_policy());
+  const auto result = c.put("big", val("B"), info(11));
+  EXPECT_FALSE(result.inserted);
+  EXPECT_EQ(c.stats().rejected, 1u);
+  EXPECT_EQ(c.entry_count(), 0u);
+}
+
+TEST(CacheBasics, ReplaceUpdatesBytes) {
+  StringCache c(100, make_lru_policy());
+  c.put("a", val("A1"), info(10));
+  c.put("a", val("A2"), info(30));
+  EXPECT_EQ(c.used_bytes(), 30u);
+  EXPECT_EQ(*c.peek("a"), "A2");
+  EXPECT_EQ(c.entry_count(), 1u);
+}
+
+TEST(CacheBasics, EraseFreesBytes) {
+  StringCache c(100, make_lru_policy());
+  c.put("a", val("A"), info(40));
+  EXPECT_TRUE(c.erase("a"));
+  EXPECT_FALSE(c.erase("a"));
+  EXPECT_EQ(c.used_bytes(), 0u);
+  EXPECT_EQ(c.stats().evictions, 0u);  // erase is not an eviction
+}
+
+TEST(CacheBasics, EvictedValueSurvivesViaSharedPtr) {
+  StringCache c(20, make_lru_policy());
+  c.put("a", val("A"), info(15));
+  const auto held = c.get("a");
+  c.put("b", val("B"), info(15));  // evicts "a"
+  EXPECT_FALSE(c.contains("a"));
+  EXPECT_EQ(*held, "A");  // still usable by the holder
+}
+
+TEST(Lru, EvictsLeastRecentlyUsed) {
+  StringCache c(30, make_lru_policy());
+  c.put("a", val("A"), info(10));
+  c.put("b", val("B"), info(10));
+  c.put("c", val("C"), info(10));
+  c.get("a");  // freshen a
+  const auto result = c.put("d", val("D"), info(10));
+  ASSERT_EQ(result.evicted.size(), 1u);
+  EXPECT_EQ(result.evicted[0], "b");
+  EXPECT_TRUE(c.contains("a"));
+}
+
+TEST(Lru, MultiEvictionForLargeEntry) {
+  StringCache c(30, make_lru_policy());
+  c.put("a", val("A"), info(10));
+  c.put("b", val("B"), info(10));
+  c.put("c", val("C"), info(10));
+  const auto result = c.put("big", val("D"), info(25));
+  EXPECT_EQ(result.evicted.size(), 3u);
+  EXPECT_EQ(c.entry_count(), 1u);
+}
+
+TEST(Fifo, EvictsInsertionOrderRegardlessOfAccess) {
+  StringCache c(30, make_fifo_policy());
+  c.put("a", val("A"), info(10));
+  c.put("b", val("B"), info(10));
+  c.put("c", val("C"), info(10));
+  c.get("a");
+  c.get("a");
+  const auto result = c.put("d", val("D"), info(10));
+  ASSERT_EQ(result.evicted.size(), 1u);
+  EXPECT_EQ(result.evicted[0], "a");  // accessed but still first in
+}
+
+TEST(Lfu, EvictsLeastFrequent) {
+  StringCache c(30, make_lfu_policy());
+  c.put("a", val("A"), info(10));
+  c.put("b", val("B"), info(10));
+  c.put("c", val("C"), info(10));
+  c.get("a");
+  c.get("a");
+  c.get("c");
+  const auto result = c.put("d", val("D"), info(10));
+  ASSERT_EQ(result.evicted.size(), 1u);
+  EXPECT_EQ(result.evicted[0], "b");
+}
+
+TEST(Lfu, TieBreaksByInsertionOrder) {
+  StringCache c(30, make_lfu_policy());
+  c.put("a", val("A"), info(10));
+  c.put("b", val("B"), info(10));
+  c.put("c", val("C"), info(10));
+  const auto result = c.put("d", val("D"), info(10));
+  ASSERT_EQ(result.evicted.size(), 1u);
+  EXPECT_EQ(result.evicted[0], "a");
+}
+
+TEST(Gdsf, PrefersEvictingCheapLargeEntries) {
+  StringCache c(100, make_gdsf_policy());
+  // "cheap_big": large and cheap to refetch; "dear_small": small and
+  // expensive. GDSF evicts cheap_big first.
+  c.put("cheap_big", val("X"), info(60, 0.1));
+  c.put("dear_small", val("Y"), info(10, 5.0));
+  const auto result = c.put("new", val("Z"), info(50, 1.0));
+  ASSERT_GE(result.evicted.size(), 1u);
+  EXPECT_EQ(result.evicted[0], "cheap_big");
+  EXPECT_TRUE(c.contains("dear_small"));
+}
+
+TEST(Gdsf, FrequencyProtects) {
+  StringCache c(20, make_gdsf_policy());
+  c.put("a", val("A"), info(10, 1.0));
+  c.put("b", val("B"), info(10, 1.0));
+  for (int i = 0; i < 5; ++i) c.get("a");
+  const auto result = c.put("c", val("C"), info(10, 1.0));
+  ASSERT_EQ(result.evicted.size(), 1u);
+  EXPECT_EQ(result.evicted[0], "b");
+}
+
+TEST(SemPop, RecencyBeatsStaleFrequency) {
+  // "old" gets many hits early, then "hot" gets a few recent ones. With
+  // decay, the recent entry wins.
+  StringCache c(20, make_sempop_policy(0.5));
+  c.put("old", val("O"), info(10, 1.0));
+  for (int i = 0; i < 10; ++i) c.get("old");
+  c.put("hot", val("H"), info(10, 1.0));
+  for (int i = 0; i < 3; ++i) c.get("hot");
+  const auto result = c.put("new", val("N"), info(10, 1.0));
+  ASSERT_EQ(result.evicted.size(), 1u);
+  EXPECT_EQ(result.evicted[0], "old");
+}
+
+TEST(PolicyFactory, ByName) {
+  for (const auto* name : {"fifo", "lru", "lfu", "gdsf", "sempop"}) {
+    EXPECT_EQ(make_policy(name)->name(), name);
+  }
+  EXPECT_THROW(make_policy("arc"), Error);
+}
+
+TEST(PolicyFactory, SemPopValidation) {
+  EXPECT_THROW(make_sempop_policy(0.0), Error);
+  EXPECT_THROW(make_sempop_policy(1.5), Error);
+}
+
+TEST(CacheStats, ToStringContainsFields) {
+  StringCache c(10, make_lru_policy());
+  c.get("x");
+  const std::string s = c.stats().to_string();
+  EXPECT_NE(s.find("hit_rate"), std::string::npos);
+  EXPECT_NE(s.find("misses=1"), std::string::npos);
+}
+
+TEST(Registry, RegisterAndSize) {
+  ModelRegistry reg;
+  reg.register_model("m1", 1000);
+  EXPECT_TRUE(reg.contains("m1"));
+  EXPECT_EQ(reg.model_size("m1"), 1000u);
+  EXPECT_THROW(reg.register_model("m1", 5), Error);  // duplicate
+  EXPECT_THROW(reg.model_size("nope"), Error);
+  EXPECT_THROW(reg.register_model("zero", 0), Error);
+}
+
+TEST(Registry, FetchChargesLinkAndSchedules) {
+  edge::Simulator sim;
+  edge::Network net;
+  const auto cloud = net.add_node("cloud", edge::NodeKind::kCloud, 1e12);
+  const auto server = net.add_node("edge", edge::NodeKind::kEdgeServer, 1e11);
+  net.connect(cloud, server, 8e6, 0.05);
+
+  ModelRegistry reg;
+  reg.register_model("m", 1000);  // 1 ms serialization at 8 Mbit/s
+  double done = -1.0;
+  reg.fetch(sim, net.link(cloud, server), "m", [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done, 0.051, 1e-9);
+  EXPECT_EQ(reg.fetches(), 1u);
+  EXPECT_EQ(reg.bytes_fetched(), 1000u);
+  EXPECT_NEAR(reg.fetch_latency(net.link(cloud, server), "m"), 0.051, 1e-9);
+}
+
+// Property sweep: under a hot-set workload every policy beats random-size
+// expectations — and hit rate grows with capacity.
+class PolicyCapacitySweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PolicyCapacitySweep, HitRateMonotoneInCapacity) {
+  double prev_rate = -1.0;
+  for (const std::size_t capacity : {20u, 40u, 80u}) {
+    StringCache c(capacity, make_policy(GetParam()));
+    Rng rng(7);
+    text::ZipfSampler zipf(20, 1.2);
+    for (int i = 0; i < 3000; ++i) {
+      const std::string key = "k" + std::to_string(zipf.sample(rng));
+      if (c.get(key) == nullptr) {
+        c.put(key, val("v"), info(10));
+      }
+    }
+    const double rate = c.stats().hit_rate();
+    EXPECT_GT(rate, prev_rate - 0.02)
+        << GetParam() << " capacity " << capacity;
+    prev_rate = rate;
+  }
+  EXPECT_GT(prev_rate, 0.6) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PolicyCapacitySweep,
+                         ::testing::Values("fifo", "lru", "lfu", "gdsf",
+                                           "sempop"));
+
+}  // namespace
+}  // namespace semcache::cache

@@ -1,0 +1,317 @@
+// Integration tests for semcache::core — the full Fig. 1 workflow. Builds
+// one small trained system per fixture (shared across tests) and verifies:
+// end-to-end delivery, user-model establishment, buffered updates, replica
+// byte-identity after gradient sync, the decoder-copy ablation, cache
+// touch behaviour, and the traditional baseline.
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "core/system.hpp"
+
+namespace semcache::core {
+namespace {
+
+SystemConfig small_system_config() {
+  SystemConfig config;
+  config.seed = 71;
+  config.world.num_domains = 2;
+  config.world.concepts_per_domain = 16;
+  config.world.num_polysemous = 6;
+  config.world.sentence_length = 6;
+  config.codec.embed_dim = 16;
+  config.codec.feature_dim = 12;
+  config.codec.hidden_dim = 32;
+  config.pretrain.steps = 3000;
+  config.feature_bits = 6;
+  config.buffer_trigger = 8;
+  config.finetune_epochs = 4;
+  config.num_edges = 2;
+  config.devices_per_edge = 3;
+  return config;
+}
+
+class SystemTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    system_ = SemanticEdgeSystem::build(small_system_config()).release();
+    system_->register_user("alice", 0, nullptr);
+    system_->register_user("bob", 1, nullptr);
+  }
+  static void TearDownTestSuite() {
+    delete system_;
+    system_ = nullptr;
+  }
+  static SemanticEdgeSystem* system_;
+};
+
+SemanticEdgeSystem* SystemTest::system_ = nullptr;
+
+TEST_F(SystemTest, BuildFilledCodecDims) {
+  const auto& cfg = system_->config();
+  EXPECT_EQ(cfg.codec.surface_vocab, system_->world().surface_count());
+  EXPECT_EQ(cfg.codec.meaning_vocab, system_->world().meaning_count());
+  EXPECT_GT(cfg.pretrain.feature_noise, 0.0);  // QAT auto-enabled
+}
+
+TEST_F(SystemTest, GeneralModelsAccurateOnOwnDomain) {
+  for (std::size_t d = 0; d < system_->world().num_domains(); ++d) {
+    Rng rng(100 + d);
+    const auto report = semantic::evaluate_codec(
+        system_->general_model(d), system_->world(), d, 100, rng);
+    EXPECT_GT(report.token_accuracy, 0.9) << "domain " << d;
+  }
+}
+
+TEST_F(SystemTest, TransmitDeliversMeanings) {
+  const auto msg = system_->sample_message("alice", 0);
+  const TransmitReport r = system_->transmit("alice", "bob", msg);
+  EXPECT_EQ(r.decoded_meanings.size(), msg.meanings.size());
+  EXPECT_GT(r.token_accuracy, 0.5);
+  EXPECT_GT(r.latency_s, 0.0);
+  EXPECT_GT(r.payload_bytes, 0u);
+  EXPECT_GT(r.airtime_bits, 0u);  // cross-edge message rides the channel
+}
+
+TEST_F(SystemTest, FirstContactEstablishesUserModelOnBothEdges) {
+  system_->register_user("carol", 0, nullptr);
+  system_->register_user("dave", 1, nullptr);
+  const auto msg = system_->sample_message("carol", 1);
+  const TransmitReport r = system_->transmit("carol", "dave", msg);
+  EXPECT_TRUE(r.established_user_model);
+  EXPECT_NE(system_->edge_state(0).find_slot("carol", r.domain_selected),
+            nullptr);
+  EXPECT_NE(system_->edge_state(1).find_slot("carol", r.domain_selected),
+            nullptr);
+  // Second message: slot reused.
+  const TransmitReport r2 = system_->transmit(
+      "carol", "dave", system_->sample_message("carol", 1));
+  if (r2.domain_selected == r.domain_selected) {
+    EXPECT_FALSE(r2.established_user_model);
+  }
+}
+
+TEST_F(SystemTest, FreshUserSlotsAreGeneralModelClones) {
+  system_->register_user("erin", 0, nullptr);
+  system_->register_user("frank", 1, nullptr);
+  SystemConfig oracle_cfg = small_system_config();
+  const auto msg = system_->sample_message("erin", 0);
+  const TransmitReport r = system_->transmit("erin", "frank", msg);
+  const std::size_t m = r.domain_selected;
+  UserModelSlot* slot = system_->edge_state(0).find_slot("erin", m);
+  ASSERT_NE(slot, nullptr);
+  if (!r.triggered_update) {
+    EXPECT_TRUE(slot->model->parameters().values_equal(
+        system_->general_model(m).parameters()));
+  }
+}
+
+TEST_F(SystemTest, BufferTripsAndSyncKeepsReplicasBitIdentical) {
+  system_->register_user("gina", 0, nullptr);
+  system_->register_user("hank", 1, nullptr);
+  const std::size_t trigger = system_->config().buffer_trigger;
+  std::size_t updates = 0;
+  for (std::size_t i = 0; i < trigger + 2; ++i) {
+    text::Sentence msg = system_->sample_message("gina", 0);
+    msg.domain = 0;
+    // Oracle-pin the domain so every message lands in the same buffer.
+    const TransmitReport r = system_->transmit("gina", "hank", msg);
+    if (r.triggered_update) {
+      ++updates;
+      EXPECT_GT(r.sync_bytes, 0u);
+    }
+  }
+  // Selector noise can scatter a few messages to the other domain, but with
+  // trigger+2 sends at least one update must have fired when selection was
+  // consistent; tolerate zero only if the slot never accumulated enough.
+  UserModelSlot* slot = system_->edge_state(0).find_slot("gina", 0);
+  if (slot != nullptr && slot->send_version > 0) {
+    EXPECT_TRUE(system_->replicas_in_sync("gina", 0, 0, 1));
+    UserModelSlot* rslot = system_->edge_state(1).find_slot("gina", 0);
+    ASSERT_NE(rslot, nullptr);
+    EXPECT_EQ(rslot->recv_version.current(), slot->send_version);
+    EXPECT_GE(updates, 1u);
+  }
+}
+
+TEST_F(SystemTest, UpdateLeavesGeneralModelsUntouched) {
+  // "the general models remain the same during all time" (§II-D).
+  const auto before = system_->general_model(0).parameters().flatten_values();
+  system_->register_user("ivy", 0, nullptr);
+  system_->register_user("jack", 1, nullptr);
+  for (std::size_t i = 0; i < system_->config().buffer_trigger + 1; ++i) {
+    text::Sentence msg = system_->sample_message("ivy", 0);
+    system_->transmit("ivy", "jack", msg);
+  }
+  const auto after = system_->general_model(0).parameters().flatten_values();
+  EXPECT_EQ(before, after);
+}
+
+TEST_F(SystemTest, StatsAccumulate) {
+  const SystemStats before = system_->stats();
+  system_->transmit("alice", "bob", system_->sample_message("alice", 0));
+  const SystemStats& after = system_->stats();
+  EXPECT_EQ(after.messages, before.messages + 1);
+  EXPECT_GT(after.feature_bytes, before.feature_bytes);
+  EXPECT_GT(after.uplink_bytes, before.uplink_bytes);
+  EXPECT_GT(after.downlink_bytes, before.downlink_bytes);
+}
+
+TEST_F(SystemTest, UnknownUserThrows) {
+  const auto msg = system_->sample_message("alice", 0);
+  EXPECT_THROW(system_->transmit("alice", "nobody", msg), Error);
+  EXPECT_THROW(system_->user("nobody"), Error);
+}
+
+TEST_F(SystemTest, RegisterUserValidation) {
+  EXPECT_THROW(system_->register_user("alice", 0, nullptr), Error);  // dup
+  EXPECT_THROW(system_->register_user("zoe", 9, nullptr), Error);  // bad edge
+}
+
+TEST_F(SystemTest, WrongLengthMessageRejected) {
+  text::Sentence bad;
+  bad.domain = 0;
+  bad.surface = {1, 2, 3};
+  bad.meanings = {1, 2, 3};
+  EXPECT_THROW(system_->transmit("alice", "bob", bad), Error);
+}
+
+TEST_F(SystemTest, SameEdgeTransmitSkipsBackbone) {
+  system_->register_user("kim", 0, nullptr);
+  system_->register_user("lee", 0, nullptr);  // same edge as kim
+  const auto msg = system_->sample_message("kim", 0);
+  const TransmitReport r = system_->transmit("kim", "lee", msg);
+  EXPECT_EQ(r.airtime_bits, 0u);  // no cross-edge channel
+  EXPECT_GT(r.token_accuracy, 0.5);
+}
+
+TEST_F(SystemTest, GeneralCacheStartsWarm) {
+  const auto& stats = system_->edge_state(0).general_cache().stats();
+  EXPECT_GE(stats.insertions, system_->world().num_domains());
+}
+
+// Fresh-system tests (need their own configuration).
+
+TEST(SystemAblation, DecoderCopyDisabledChargesOutputReturn) {
+  SystemConfig config = small_system_config();
+  config.decoder_copy_enabled = false;
+  config.oracle_selection = true;
+  config.pretrain.steps = 1500;
+  auto system = SemanticEdgeSystem::build(config);
+  system->register_user("a", 0, nullptr);
+  system->register_user("b", 1, nullptr);
+  const auto msg = system->sample_message("a", 0);
+  const TransmitReport r = system->transmit("a", "b", msg);
+  EXPECT_GT(r.output_return_bytes, 0u);
+  EXPECT_GT(system->stats().output_return_bytes, 0u);
+}
+
+TEST(SystemAblation, DecoderCopyEnabledCostsNothingExtra) {
+  SystemConfig config = small_system_config();
+  config.oracle_selection = true;
+  config.pretrain.steps = 1500;
+  auto system = SemanticEdgeSystem::build(config);
+  system->register_user("a", 0, nullptr);
+  system->register_user("b", 1, nullptr);
+  const TransmitReport r =
+      system->transmit("a", "b", system->sample_message("a", 0));
+  EXPECT_EQ(r.output_return_bytes, 0u);
+  EXPECT_GT(r.mismatch, 0.0);  // mismatch still computed — locally
+}
+
+TEST(SystemOracle, OracleSelectionAlwaysCorrect) {
+  SystemConfig config = small_system_config();
+  config.oracle_selection = true;
+  config.pretrain.steps = 1500;
+  auto system = SemanticEdgeSystem::build(config);
+  system->register_user("a", 0, nullptr);
+  system->register_user("b", 1, nullptr);
+  for (int i = 0; i < 5; ++i) {
+    const auto msg = system->sample_message("a", i % 2);
+    const TransmitReport r = system->transmit("a", "b", msg);
+    EXPECT_TRUE(r.selection_correct);
+    EXPECT_EQ(r.domain_selected, msg.domain);
+  }
+  EXPECT_EQ(system->stats().selection_errors, 0u);
+}
+
+TEST(SystemDeterminism, SameSeedSameOutcome) {
+  auto run = [] {
+    SystemConfig config = small_system_config();
+    config.pretrain.steps = 800;
+    auto system = SemanticEdgeSystem::build(config);
+    system->register_user("a", 0, nullptr);
+    system->register_user("b", 1, nullptr);
+    std::vector<double> accs;
+    for (int i = 0; i < 4; ++i) {
+      const auto msg = system->sample_message("a", 0);
+      accs.push_back(system->transmit("a", "b", msg).token_accuracy);
+    }
+    return accs;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Baseline, TraditionalCleanChannelPerfect) {
+  Rng rng(81);
+  text::WorldConfig wc;
+  wc.num_domains = 2;
+  wc.concepts_per_domain = 12;
+  wc.sentence_length = 6;
+  text::World world = text::World::generate(wc, rng);
+  Rng trng(82);
+  TraditionalCodec codec(world, trng, 500);
+  auto pipe = channel::make_bsc_pipeline(
+      std::make_unique<channel::IdentityCode>(), 0.0);
+  Rng crng(83);
+  for (int i = 0; i < 10; ++i) {
+    const auto msg = world.sample_sentence(i % 2, crng);
+    const auto result = codec.transmit(msg, *pipe, crng);
+    EXPECT_DOUBLE_EQ(result.surface_accuracy, 1.0);
+    EXPECT_DOUBLE_EQ(result.meaning_accuracy, 1.0);  // oracle disambiguation
+    EXPECT_GT(result.payload_bits, 0u);
+  }
+}
+
+TEST(Baseline, TraditionalCompressesBelowRawBits) {
+  Rng rng(84);
+  text::WorldConfig wc;
+  wc.num_domains = 2;
+  wc.concepts_per_domain = 12;
+  wc.sentence_length = 8;
+  text::World world = text::World::generate(wc, rng);
+  Rng trng(85);
+  TraditionalCodec codec(world, trng, 1000);
+  Rng srng(86);
+  double total_bits = 0.0;
+  const int n = 50;
+  for (int i = 0; i < n; ++i) {
+    total_bits += static_cast<double>(
+        codec.compressed_bits(world.sample_sentence(0, srng)));
+  }
+  // Raw encoding is 16 bits/token.
+  EXPECT_LT(total_bits / n, 8.0 * 16.0);
+}
+
+TEST(Baseline, TraditionalDegradesOnNoisyChannel) {
+  Rng rng(87);
+  text::WorldConfig wc;
+  wc.num_domains = 2;
+  wc.concepts_per_domain = 12;
+  wc.sentence_length = 6;
+  text::World world = text::World::generate(wc, rng);
+  Rng trng(88);
+  TraditionalCodec codec(world, trng, 500);
+  auto noisy = channel::make_bsc_pipeline(
+      std::make_unique<channel::IdentityCode>(), 0.05);
+  Rng crng(89);
+  metrics::OnlineStats acc;
+  for (int i = 0; i < 40; ++i) {
+    const auto msg = world.sample_sentence(0, crng);
+    acc.add(codec.transmit(msg, *noisy, crng).surface_accuracy);
+  }
+  EXPECT_LT(acc.mean(), 0.95);
+  EXPECT_GT(acc.mean(), 0.1);
+}
+
+}  // namespace
+}  // namespace semcache::core

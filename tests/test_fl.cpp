@@ -1,0 +1,277 @@
+// Unit tests for semcache::fl — transaction buffers, delta compression
+// round-trips and error bounds, sync messages, replica consistency, and
+// version tracking.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "fl/buffer.hpp"
+#include "fl/compressor.hpp"
+#include "fl/sync.hpp"
+#include "nn/layers.hpp"
+
+namespace semcache::fl {
+namespace {
+
+semantic::Sample sample(int tag) {
+  return {{tag, tag + 1}, {tag + 2, tag + 3}};
+}
+
+TEST(Buffer, TriggersAfterThreshold) {
+  DomainBuffer buf(3, 10);
+  EXPECT_FALSE(buf.ready());
+  buf.add(sample(0), 1.0);
+  buf.add(sample(1), 1.0);
+  EXPECT_FALSE(buf.ready());
+  buf.add(sample(2), 1.0);
+  EXPECT_TRUE(buf.ready());
+  EXPECT_EQ(buf.size(), 3u);
+}
+
+TEST(Buffer, ConsumeReArmsButKeepsSamples) {
+  DomainBuffer buf(2, 10);
+  buf.add(sample(0), 1.0);
+  buf.add(sample(1), 1.0);
+  EXPECT_TRUE(buf.ready());
+  buf.consume();
+  EXPECT_FALSE(buf.ready());
+  EXPECT_EQ(buf.size(), 2u);  // samples retained as training data
+  buf.add(sample(2), 1.0);
+  buf.add(sample(3), 1.0);
+  EXPECT_TRUE(buf.ready());
+  EXPECT_EQ(buf.size(), 4u);
+}
+
+TEST(Buffer, RingCapacityDropsOldest) {
+  DomainBuffer buf(1, 3);
+  for (int i = 0; i < 5; ++i) buf.add(sample(i), 1.0);
+  EXPECT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf.samples()[0].surface[0], 2);  // 0 and 1 dropped
+  EXPECT_EQ(buf.total_added(), 5u);
+}
+
+TEST(Buffer, MeanMismatch) {
+  DomainBuffer buf(1, 10);
+  buf.add(sample(0), 2.0);
+  buf.add(sample(1), 4.0);
+  EXPECT_DOUBLE_EQ(buf.mean_mismatch(), 3.0);
+  buf.clear();
+  EXPECT_DOUBLE_EQ(buf.mean_mismatch(), 0.0);
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(Buffer, ValidatesConfig) {
+  EXPECT_THROW(DomainBuffer(0, 10), Error);
+  EXPECT_THROW(DomainBuffer(5, 4), Error);
+}
+
+std::vector<float> random_delta(std::size_t n, Rng& rng, double scale = 0.1) {
+  std::vector<float> d(n);
+  for (auto& x : d) x = static_cast<float>(rng.gaussian(0.0, scale));
+  return d;
+}
+
+TEST(Compressor, DenseFloat32IsLossless) {
+  Rng rng(1);
+  const auto delta = random_delta(200, rng);
+  DeltaCompressor comp({1.0, 32});
+  EXPECT_EQ(comp.decompress(comp.compress(delta)), delta);
+}
+
+TEST(Compressor, TopKKeepsLargestMagnitudes) {
+  std::vector<float> delta = {0.01f, -5.0f, 0.02f, 3.0f, 0.0f, -0.5f};
+  DeltaCompressor comp({2.0 / 6.0, 32});
+  const auto out = comp.decompress(comp.compress(delta));
+  EXPECT_FLOAT_EQ(out[1], -5.0f);
+  EXPECT_FLOAT_EQ(out[3], 3.0f);
+  for (const std::size_t zeroed : {0u, 2u, 4u, 5u}) {
+    EXPECT_FLOAT_EQ(out[zeroed], 0.0f);
+  }
+}
+
+TEST(Compressor, Int8QuantizationErrorBounded) {
+  Rng rng(2);
+  const auto delta = random_delta(500, rng);
+  DeltaCompressor comp({1.0, 8});
+  const auto out = comp.decompress(comp.compress(delta));
+  float max_abs = 0.0f;
+  for (const float d : delta) max_abs = std::max(max_abs, std::abs(d));
+  const float step = max_abs / 127.0f;
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    EXPECT_NEAR(out[i], delta[i], step * 0.51f);
+  }
+}
+
+TEST(Compressor, Int16TighterThanInt8) {
+  Rng rng(3);
+  const auto delta = random_delta(500, rng);
+  auto err = [&](unsigned bits) {
+    DeltaCompressor comp({1.0, bits});
+    const auto out = comp.decompress(comp.compress(delta));
+    double e = 0.0;
+    for (std::size_t i = 0; i < delta.size(); ++i) {
+      e += std::abs(static_cast<double>(out[i]) - delta[i]);
+    }
+    return e;
+  };
+  EXPECT_LT(err(16), err(8) / 10.0);
+}
+
+TEST(Compressor, WireSizeShrinksWithCompression) {
+  Rng rng(4);
+  const auto delta = random_delta(1000, rng);
+  const auto dense32 = DeltaCompressor({1.0, 32}).compress(delta);
+  const auto dense8 = DeltaCompressor({1.0, 8}).compress(delta);
+  const auto sparse8 = DeltaCompressor({0.1, 8}).compress(delta);
+  EXPECT_LT(dense8.byte_size(), dense32.byte_size() / 3);
+  EXPECT_LT(sparse8.byte_size(), dense8.byte_size() / 2);
+}
+
+TEST(Compressor, SerializationRoundTrip) {
+  Rng rng(5);
+  const auto delta = random_delta(128, rng);
+  for (const CompressionConfig cfg :
+       {CompressionConfig{1.0, 32}, CompressionConfig{0.25, 8},
+        CompressionConfig{0.5, 16}}) {
+    DeltaCompressor comp(cfg);
+    const CompressedDelta c = comp.compress(delta);
+    ByteWriter w;
+    c.serialize(w);
+    ByteReader r(w.bytes());
+    const CompressedDelta back = CompressedDelta::deserialize(r);
+    EXPECT_EQ(comp.decompress(back), comp.decompress(c));
+    EXPECT_EQ(w.size(), c.byte_size());
+  }
+}
+
+TEST(Compressor, ValidatesConfig) {
+  EXPECT_THROW(DeltaCompressor({0.0, 8}), Error);
+  EXPECT_THROW(DeltaCompressor({1.5, 8}), Error);
+  EXPECT_THROW(DeltaCompressor({0.5, 7}), Error);
+}
+
+TEST(Compressor, ZeroDeltaSafe) {
+  std::vector<float> zeros(50, 0.0f);
+  DeltaCompressor comp({0.2, 8});
+  const auto out = comp.decompress(comp.compress(zeros));
+  EXPECT_EQ(out, zeros);
+}
+
+TEST(SyncMessage, BytesRoundTrip) {
+  Rng rng(6);
+  const auto delta = random_delta(64, rng);
+  ModelSynchronizer sync({0.5, 8});
+  std::vector<float> before(64, 0.0f);
+  const SyncMessage msg =
+      sync.make_message(before, delta, "alice", 2, 7);
+  const auto bytes = msg.to_bytes();
+  EXPECT_EQ(bytes.size(), msg.byte_size());
+  const SyncMessage back = SyncMessage::from_bytes(bytes);
+  EXPECT_EQ(back.user, "alice");
+  EXPECT_EQ(back.domain, 2u);
+  EXPECT_EQ(back.version, 7u);
+  EXPECT_EQ(sync.compressor().decompress(back.delta),
+            sync.compressor().decompress(msg.delta));
+}
+
+TEST(Synchronizer, ReplicasStayBitIdenticalUnderLossyCompression) {
+  // The core consistency contract (§II-C/D): both replicas apply the same
+  // decompressed delta, so even int8 top-k compression cannot diverge them.
+  Rng rng(7);
+  nn::Linear sender_model(8, 8, rng, "dec");
+  nn::Linear receiver_model(8, 8, rng, "dec");
+  nn::ParameterSet sender(sender_model.parameters());
+  nn::ParameterSet receiver(receiver_model.parameters());
+  receiver.copy_values_from(sender);
+
+  ModelSynchronizer sync({0.25, 8});
+  std::uint64_t version = 0;
+  for (int round = 0; round < 5; ++round) {
+    // Simulate fine-tuning: a random delta on a scratch copy.
+    const auto before = sender.flatten_values();
+    auto after = before;
+    for (auto& x : after) x += static_cast<float>(rng.gaussian(0.0, 0.05));
+    const SyncMessage msg =
+        sync.make_message(before, after, "u", 0, ++version);
+    sync.apply(sender, msg);    // sender rolls ITS replica forward lossily
+    sync.apply(receiver, msg);  // receiver does the same
+    EXPECT_TRUE(sender.values_equal(receiver)) << "round " << round;
+  }
+}
+
+TEST(Synchronizer, RawWeightsWouldDiverge) {
+  // Negative control: adopting the raw fine-tuned weights at the sender
+  // (instead of the lossy delta) breaks byte-identity.
+  Rng rng(8);
+  nn::Linear sender_model(6, 6, rng, "dec");
+  nn::Linear receiver_model(6, 6, rng, "dec");
+  nn::ParameterSet sender(sender_model.parameters());
+  nn::ParameterSet receiver(receiver_model.parameters());
+  receiver.copy_values_from(sender);
+
+  ModelSynchronizer sync({0.25, 8});
+  const auto before = sender.flatten_values();
+  auto after = before;
+  for (auto& x : after) x += static_cast<float>(rng.gaussian(0.0, 0.05));
+  const SyncMessage msg = sync.make_message(before, after, "u", 0, 1);
+  sender.unflatten_values(after);  // WRONG: raw weights
+  sync.apply(receiver, msg);
+  EXPECT_FALSE(sender.values_equal(receiver));
+}
+
+TEST(Synchronizer, CompressionResidualShrinksWithBits) {
+  Rng rng(9);
+  std::vector<float> before(300, 0.0f);
+  auto after = before;
+  for (auto& x : after) x += static_cast<float>(rng.gaussian(0.0, 0.1));
+  const double res8 =
+      ModelSynchronizer({1.0, 8}).compression_residual(before, after);
+  const double res16 =
+      ModelSynchronizer({1.0, 16}).compression_residual(before, after);
+  const double res32 =
+      ModelSynchronizer({1.0, 32}).compression_residual(before, after);
+  EXPECT_LT(res16, res8);
+  EXPECT_NEAR(res32, 0.0, 1e-12);
+}
+
+TEST(VersionVector, StrictMonotone) {
+  VersionVector v;
+  EXPECT_EQ(v.current(), 0u);
+  EXPECT_TRUE(v.advance(1));
+  EXPECT_FALSE(v.advance(1));  // replay
+  EXPECT_FALSE(v.advance(3));  // gap
+  EXPECT_TRUE(v.advance(2));
+  EXPECT_EQ(v.current(), 2u);
+  EXPECT_EQ(v.rejected(), 2u);
+}
+
+class TopKSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TopKSweep, SparsityMatchesFraction) {
+  Rng rng(10);
+  const auto delta = random_delta(1000, rng);
+  DeltaCompressor comp({GetParam(), 32});
+  const CompressedDelta c = comp.compress(delta);
+  const auto expected =
+      static_cast<std::size_t>(std::llround(GetParam() * 1000));
+  EXPECT_EQ(c.indices.size(), expected);
+  // Every kept value is >= every dropped value in magnitude.
+  const auto out = comp.decompress(c);
+  float min_kept = 1e9f;
+  float max_dropped = 0.0f;
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    if (out[i] != 0.0f) {
+      min_kept = std::min(min_kept, std::abs(delta[i]));
+    } else {
+      max_dropped = std::max(max_dropped, std::abs(delta[i]));
+    }
+  }
+  EXPECT_GE(min_kept + 1e-9f, max_dropped);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TopKSweep,
+                         ::testing::Values(0.01, 0.1, 0.25, 0.5));
+
+}  // namespace
+}  // namespace semcache::fl
