@@ -54,13 +54,22 @@ inline std::unique_ptr<semantic::SemanticCodec> train_domain_codec(
   return codec;
 }
 
-/// Print a table as markdown (default) or CSV when --csv was passed.
+/// Print a table as markdown (default), CSV on --csv, or JSON on --json.
+/// Several benches emit more than one table, so --json is NDJSON: each
+/// emit() writes exactly one single-line JSON object. Consumers must
+/// parse line-by-line (as bench/run_all.sh does), not json.load the
+/// whole stream.
 inline void emit(const metrics::Table& table, int argc, char** argv) {
-  bool csv = false;
+  bool csv = false, json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--csv") csv = true;
+    if (std::string(argv[i]) == "--json") json = true;
   }
-  std::cout << (csv ? table.to_csv() : table.to_markdown()) << "\n";
+  if (json) {
+    std::cout << table.to_json() << "\n";
+  } else {
+    std::cout << (csv ? table.to_csv() : table.to_markdown()) << "\n";
+  }
 }
 
 }  // namespace semcache::bench

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Run every bench binary and collect machine-readable output.
+#
+# Each experiment bench (bench_e*) is run with --json, which emits NDJSON
+# (one single-line JSON object per table — several benches print two
+# tables). The tables are wrapped into bench_out/BENCH_<name>.json with
+# the exit status and wall-clock time. bench_micro is Google Benchmark
+# and emits native JSON directly.
+#
+# Environment:
+#   BENCH_BIN_DIR   directory holding the bench binaries (default: ./build)
+#   BENCH_OUT_DIR   where the JSON lands (default: $BENCH_BIN_DIR/bench_out)
+#   BENCH_FILTER    only run binaries whose name matches this grep pattern
+#   BENCH_TIMEOUT   per-bench timeout in seconds (default: 1800)
+#
+# Invoked by `cmake --build build --target bench`, or standalone:
+#   BENCH_BIN_DIR=build bench/run_all.sh
+set -u
+
+BENCH_BIN_DIR="${BENCH_BIN_DIR:-./build}"
+BENCH_OUT_DIR="${BENCH_OUT_DIR:-${BENCH_BIN_DIR}/bench_out}"
+BENCH_FILTER="${BENCH_FILTER:-.}"
+BENCH_TIMEOUT="${BENCH_TIMEOUT:-1800}"
+
+mkdir -p "${BENCH_OUT_DIR}"
+
+failures=0
+ran=0
+
+for bin in "${BENCH_BIN_DIR}"/bench_*; do
+  [ -x "${bin}" ] && [ -f "${bin}" ] || continue
+  name="$(basename "${bin}")"
+  echo "${name}" | grep -q -E "${BENCH_FILTER}" || continue
+  out="${BENCH_OUT_DIR}/BENCH_${name}.json"
+  echo "== ${name}"
+  start="$(python3 -c 'import time; print(time.time())')"
+  if [ "${name}" = "bench_micro" ]; then
+    timeout "${BENCH_TIMEOUT}" "${bin}" \
+      --benchmark_format=json >"${out}" 2>"${BENCH_OUT_DIR}/${name}.stderr"
+    status=$?
+  else
+    raw="${BENCH_OUT_DIR}/${name}.ndjson"
+    timeout "${BENCH_TIMEOUT}" "${bin}" --json \
+      >"${raw}" 2>"${BENCH_OUT_DIR}/${name}.stderr"
+    status=$?
+    end="$(python3 -c 'import time; print(time.time())')"
+    python3 - "${name}" "${raw}" "${out}" "${start}" "${end}" \
+             "${status}" <<'EOF'
+import json, sys
+name, raw_path, out_path, start, end, status = sys.argv[1:7]
+tables = []
+bad_lines = 0
+with open(raw_path) as f:
+    for ln in f:
+        ln = ln.strip()
+        if not ln:
+            continue
+        try:
+            tables.append(json.loads(ln))
+        except ValueError:
+            # A timeout-killed bench leaves a truncated final line; a
+            # stray print poisons one line. Count it, keep the rest.
+            bad_lines += 1
+doc = {
+    "bench": name,
+    "exit_status": int(status),
+    "bad_lines": bad_lines,
+    "wall_s": round(float(end) - float(start), 3),
+    "tables": tables,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=1)
+# A bench that "succeeded" but emitted unparseable output — or no
+# tables at all — is a failure: an empty record must not silently
+# enter the perf trajectory.
+sys.exit(1 if (int(status) == 0 and (bad_lines or not tables)) else 0)
+EOF
+    if [ $? -ne 0 ] && [ "${status}" -eq 0 ]; then
+      status=1
+    fi
+  fi
+  if [ "${status}" -ne 0 ]; then
+    echo "   FAILED (exit ${status}) — see ${BENCH_OUT_DIR}/${name}.stderr"
+    failures=$((failures + 1))
+  else
+    echo "   wrote ${out}"
+  fi
+  ran=$((ran + 1))
+done
+
+echo "ran ${ran} benches, ${failures} failed; output in ${BENCH_OUT_DIR}"
+# Zero matches means a wrong BENCH_BIN_DIR or stale BENCH_FILTER — fail
+# loudly instead of reporting an empty perf trajectory as success.
+[ "${ran}" -gt 0 ] && [ "${failures}" -eq 0 ]

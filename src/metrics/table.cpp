@@ -54,6 +54,53 @@ std::string Table::to_markdown() const {
   return os.str();
 }
 
+namespace {
+void append_json_string(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(ch) << std::dec << std::setfill(' ');
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+void append_json_row(std::ostringstream& os,
+                     const std::vector<std::string>& cells) {
+  os << '[';
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c > 0) os << ',';
+    append_json_string(os, cells[c]);
+  }
+  os << ']';
+}
+}  // namespace
+
+std::string Table::to_json() const {
+  std::ostringstream os;
+  os << "{\"title\":";
+  append_json_string(os, title_);
+  os << ",\"columns\":";
+  append_json_row(os, columns_);
+  os << ",\"rows\":[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) os << ',';
+    append_json_row(os, rows_[r]);
+  }
+  os << "]}";
+  return os.str();
+}
+
 std::string Table::to_csv() const {
   std::ostringstream os;
   for (std::size_t c = 0; c < columns_.size(); ++c) {

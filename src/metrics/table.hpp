@@ -1,6 +1,7 @@
 // Paper-style result tables. Every bench binary builds one of these and
 // prints it, so the "rows/series the paper reports" have a uniform format
-// (markdown for humans, CSV for downstream plotting).
+// (markdown for humans, CSV for downstream plotting, JSON for the
+// BENCH_* perf trajectory collected by bench/run_all.sh).
 #pragma once
 
 #include <string>
@@ -19,6 +20,9 @@ class Table {
 
   std::string to_markdown() const;
   std::string to_csv() const;
+  /// {"title": ..., "columns": [...], "rows": [[...], ...]} with cells as
+  /// JSON strings (escaped), one self-contained object per table.
+  std::string to_json() const;
 
   const std::string& title() const { return title_; }
   std::size_t rows() const { return rows_.size(); }

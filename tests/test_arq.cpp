@@ -6,15 +6,12 @@
 #include "channel/arq.hpp"
 #include "channel/convolutional.hpp"
 #include "common/check.hpp"
+#include "test_util.hpp"
 
 namespace semcache::channel {
 namespace {
 
-BitVec random_bits(std::size_t n, Rng& rng) {
-  BitVec bits(n);
-  for (auto& b : bits) b = rng.bernoulli(0.5) ? 1 : 0;
-  return bits;
-}
+using test::random_bits;
 
 TEST(Arq, CleanChannelSingleAttempt) {
   Rng rng(1);

@@ -12,15 +12,12 @@
 #include "channel/pipeline.hpp"
 #include "channel/repetition.hpp"
 #include "common/check.hpp"
+#include "test_util.hpp"
 
 namespace semcache::channel {
 namespace {
 
-BitVec random_bits(std::size_t n, Rng& rng) {
-  BitVec bits(n);
-  for (auto& b : bits) b = rng.bernoulli(0.5) ? 1 : 0;
-  return bits;
-}
+using test::random_bits;
 
 TEST(Crc, KnownVector) {
   // CRC-32 of "123456789" is 0xCBF43926.

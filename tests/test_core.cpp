@@ -7,26 +7,24 @@
 
 #include "core/baselines.hpp"
 #include "core/system.hpp"
+#include "test_util.hpp"
 
 namespace semcache::core {
 namespace {
 
 SystemConfig small_system_config() {
-  SystemConfig config;
-  config.seed = 71;
-  config.world.num_domains = 2;
+  SystemConfig config = test::tiny_system_config(71);
   config.world.concepts_per_domain = 16;
   config.world.num_polysemous = 6;
-  config.world.sentence_length = 6;
-  config.codec.embed_dim = 16;
-  config.codec.feature_dim = 12;
-  config.codec.hidden_dim = 32;
   config.pretrain.steps = 3000;
   config.feature_bits = 6;
   config.buffer_trigger = 8;
   config.finetune_epochs = 4;
   config.num_edges = 2;
-  config.devices_per_edge = 3;
+  // The shared SystemTest fixture registers up to 7 users on edge 0 over
+  // its lifetime (alice, carol, erin, gina, ivy, kim, lee); each needs a
+  // free device slot.
+  config.devices_per_edge = 8;
   return config;
 }
 

@@ -4,19 +4,14 @@
 #include <gtest/gtest.h>
 
 #include "core/system.hpp"
+#include "test_util.hpp"
 
 namespace semcache::core {
 namespace {
 
 SystemConfig fi_config() {
-  SystemConfig config;
-  config.seed = 501;
-  config.world.num_domains = 2;
+  SystemConfig config = test::tiny_system_config(501);
   config.world.concepts_per_domain = 14;
-  config.world.sentence_length = 6;
-  config.codec.embed_dim = 16;
-  config.codec.feature_dim = 12;
-  config.codec.hidden_dim = 32;
   config.pretrain.steps = 1500;
   config.feature_bits = 4;
   config.oracle_selection = true;

@@ -1,0 +1,129 @@
+// Gradient regression sweep for the training hot path. test_nn.cpp
+// gradchecks each layer once at a single shape; this suite sweeps the GRU
+// and dense (Linear) backward passes across several small dimension
+// combinations and seeds, checking every parameter scalar. Its job is to
+// be the fast canary that catches a silently-broken gradient when
+// src/nn or src/tensor is rewritten for speed (SIMD, blocking, fusion):
+// a shape-dependent indexing bug that happens to pass at one shape still
+// fails at another.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nn/gradcheck.hpp"
+#include "nn/gru.hpp"
+#include "nn/layers.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/ops.hpp"
+#include "test_util.hpp"
+
+namespace semcache::nn {
+namespace {
+
+using tensor::Tensor;
+
+constexpr double kTol = 2e-2;  // float32 forward + central differences
+
+struct Shape {
+  std::size_t in;
+  std::size_t out;
+  std::size_t steps;  // sequence length (GRU) or batch rows (Linear)
+};
+
+const std::vector<Shape>& shapes() {
+  static const std::vector<Shape> s = {
+      {1, 1, 1},  // degenerate dims catch off-by-one strides
+      {2, 5, 3},  // in < out
+      {6, 2, 4},  // in > out
+      {4, 4, 7},  // square, longer sequence
+  };
+  return s;
+}
+
+TEST(GradRegression, DenseLayerAcrossShapes) {
+  for (const Shape& sh : shapes()) {
+    Rng rng(1000 + sh.in * 100 + sh.out * 10 + sh.steps);
+    Linear layer(sh.in, sh.out, rng);
+    const Tensor x = Tensor::uniform({sh.steps, sh.in}, 1.0f, rng);
+    const Tensor w = Tensor::uniform({sh.steps, sh.out}, 1.0f, rng);
+    auto loss_fn = [&]() -> double {
+      return static_cast<double>(tensor::dot(layer.forward(x), w));
+    };
+    Optimizer::zero_grad(layer.parameters());
+    layer.forward(x);
+    layer.backward(w);  // dL/dy = w for loss = sum(w ⊙ y)
+    const auto result = gradcheck(loss_fn, layer.parameters(), 1e-3, 0);
+    EXPECT_TRUE(result.ok(kTol))
+        << "linear " << sh.in << "x" << sh.out << " rows " << sh.steps
+        << ": rel err " << result.max_rel_error;
+    EXPECT_EQ(result.checked, sh.in * sh.out + sh.out);  // W plus b
+  }
+}
+
+TEST(GradRegression, GruBpttAcrossShapes) {
+  for (const Shape& sh : shapes()) {
+    Rng rng(2000 + sh.in * 100 + sh.out * 10 + sh.steps);
+    Gru gru(sh.in, sh.out, rng);
+    const Tensor xs = Tensor::uniform({sh.steps, sh.in}, 1.0f, rng);
+    const Tensor w = Tensor::uniform({sh.steps, sh.out}, 1.0f, rng);
+    auto loss_fn = [&]() -> double {
+      return static_cast<double>(tensor::dot(gru.forward(xs), w));
+    };
+    Optimizer::zero_grad(gru.parameters());
+    gru.forward(xs);
+    gru.backward(w);
+    const auto result = gradcheck(loss_fn, gru.parameters(), 1e-3, 0);
+    EXPECT_TRUE(result.ok(kTol))
+        << "gru " << sh.in << "->" << sh.out << " T=" << sh.steps
+        << ": rel err " << result.max_rel_error;
+    // 3 gates x (W + U + b).
+    EXPECT_EQ(result.checked,
+              3 * (sh.in * sh.out + sh.out * sh.out + sh.out));
+  }
+}
+
+TEST(GradRegression, GruInputGradientAcrossShapes) {
+  for (const Shape& sh : shapes()) {
+    Rng rng(3000 + sh.in * 100 + sh.out * 10 + sh.steps);
+    Gru gru(sh.in, sh.out, rng);
+    Parameter px("xs", Tensor::uniform({sh.steps, sh.in}, 1.0f, rng));
+    const Tensor w = Tensor::uniform({sh.steps, sh.out}, 1.0f, rng);
+    auto loss_fn = [&]() -> double {
+      return static_cast<double>(tensor::dot(gru.forward(px.value), w));
+    };
+    gru.forward(px.value);
+    px.grad = gru.backward(w);
+    Parameter* params[] = {&px};
+    const auto result = gradcheck(loss_fn, params, 1e-3, 0);
+    EXPECT_TRUE(result.ok(kTol))
+        << "gru input " << sh.in << "->" << sh.out << " T=" << sh.steps
+        << ": rel err " << result.max_rel_error;
+  }
+}
+
+// Determinism guard for the sweep itself: two identically-seeded layers
+// must produce bit-identical gradients, otherwise the comparisons above
+// are chasing noise. Uses the shared AllNear comparator at tolerance 0.
+TEST(GradRegression, BackwardIsDeterministic) {
+  auto grads = [] {
+    Rng rng(77);
+    Gru gru(3, 4, rng);
+    const Tensor xs = Tensor::uniform({5, 3}, 1.0f, rng);
+    const Tensor w = Tensor::uniform({5, 4}, 1.0f, rng);
+    Optimizer::zero_grad(gru.parameters());
+    gru.forward(xs);
+    gru.backward(w);
+    std::vector<Tensor> out;
+    for (Parameter* p : gru.parameters()) out.push_back(p->grad);
+    return out;
+  };
+  const auto a = grads();
+  const auto b = grads();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(test::AllNear(a[i], b[i], 0.0)) << "parameter " << i;
+  }
+}
+
+}  // namespace
+}  // namespace semcache::nn

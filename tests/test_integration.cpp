@@ -11,6 +11,7 @@
 #include "semantic/fidelity.hpp"
 #include "semantic/quantizer.hpp"
 #include "semantic/trainer.hpp"
+#include "test_util.hpp"
 
 namespace semcache {
 namespace {
@@ -25,13 +26,7 @@ TEST(Integration, SpecializedBeatsPooledOnPolysemy) {
   wc.sentence_length = 6;
   text::World world = text::World::generate(wc, rng);
 
-  semantic::CodecConfig cc;
-  cc.surface_vocab = world.surface_count();
-  cc.meaning_vocab = world.meaning_count();
-  cc.sentence_length = 6;
-  cc.embed_dim = 16;
-  cc.feature_dim = 12;
-  cc.hidden_dim = 32;
+  semantic::CodecConfig cc = test::codec_for_world(world);
 
   semantic::TrainConfig tc;
   tc.steps = 3000;
@@ -54,14 +49,8 @@ TEST(Integration, SpecializedBeatsPooledOnPolysemy) {
 }
 
 TEST(Integration, UserAdaptationImprovesOverConversation) {
-  core::SystemConfig config;
-  config.seed = 95;
-  config.world.num_domains = 2;
+  core::SystemConfig config = test::tiny_system_config(95);
   config.world.concepts_per_domain = 14;
-  config.world.sentence_length = 6;
-  config.codec.embed_dim = 16;
-  config.codec.feature_dim = 12;
-  config.codec.hidden_dim = 32;
   config.pretrain.steps = 2500;
   config.buffer_trigger = 12;
   config.finetune_epochs = 8;
@@ -120,14 +109,8 @@ TEST(Integration, SemanticPayloadSmallerThanTraditional) {
 }
 
 TEST(Integration, OpenLoopWorkloadThroughSimulator) {
-  core::SystemConfig config;
-  config.seed = 99;
-  config.world.num_domains = 2;
+  core::SystemConfig config = test::tiny_system_config(99);
   config.world.concepts_per_domain = 12;
-  config.world.sentence_length = 6;
-  config.codec.feature_dim = 12;
-  config.codec.embed_dim = 16;
-  config.codec.hidden_dim = 32;
   config.pretrain.steps = 1200;
   config.oracle_selection = true;
   auto system = core::SemanticEdgeSystem::build(config);
@@ -158,15 +141,10 @@ TEST(Integration, OpenLoopWorkloadThroughSimulator) {
 TEST(Integration, CongestionRaisesLatency) {
   // Same workload at 100x the arrival rate must see queueing delay.
   auto run_at_rate = [](double spacing_s) {
-    core::SystemConfig config;
-    config.seed = 100;
+    core::SystemConfig config = test::tiny_system_config(100);
     config.world.num_domains = 1;
     config.world.num_polysemous = 0;
     config.world.concepts_per_domain = 10;
-    config.world.sentence_length = 6;
-    config.codec.feature_dim = 12;
-    config.codec.embed_dim = 16;
-    config.codec.hidden_dim = 32;
     config.pretrain.steps = 300;
     config.oracle_selection = true;
     // Slow access link so the uplink is the bottleneck.
@@ -194,14 +172,8 @@ TEST(Integration, CongestionRaisesLatency) {
 
 TEST(Integration, CacheEvictionForcesRefetch) {
   // Tiny cache: only one general model fits; alternating domains thrash.
-  core::SystemConfig config;
-  config.seed = 101;
-  config.world.num_domains = 2;
+  core::SystemConfig config = test::tiny_system_config(101);
   config.world.concepts_per_domain = 10;
-  config.world.sentence_length = 6;
-  config.codec.feature_dim = 12;
-  config.codec.embed_dim = 16;
-  config.codec.hidden_dim = 32;
   config.pretrain.steps = 300;
   config.oracle_selection = true;
   auto probe = core::SemanticEdgeSystem::build(config);

@@ -148,6 +148,21 @@ TEST(Table, CsvOutput) {
   EXPECT_EQ(t.to_csv(), "c1,c2\nv,w\n");
 }
 
+TEST(Table, JsonOutput) {
+  Table t("x", {"c1", "c2"});
+  t.add_row({"v", "w"});
+  EXPECT_EQ(t.to_json(),
+            R"({"title":"x","columns":["c1","c2"],"rows":[["v","w"]]})");
+}
+
+TEST(Table, JsonEscapesSpecials) {
+  Table t("q\"uote", {"a\\b"});
+  t.add_row({"line\nbreak"});
+  EXPECT_EQ(
+      t.to_json(),
+      R"({"title":"q\"uote","columns":["a\\b"],"rows":[["line\nbreak"]]})");
+}
+
 TEST(Table, RowWidthMismatchThrows) {
   Table t("x", {"a"});
   EXPECT_THROW(t.add_row({"1", "2"}), Error);

@@ -9,6 +9,7 @@
 #include "semantic/quantizer.hpp"
 #include "semantic/trainer.hpp"
 #include "tensor/ops.hpp"
+#include "test_util.hpp"
 
 namespace semcache::semantic {
 namespace {
@@ -218,16 +219,7 @@ class TrainingTest : public ::testing::Test {
     delete world_;
     world_ = nullptr;
   }
-  static CodecConfig codec_config() {
-    CodecConfig c;
-    c.surface_vocab = world_->surface_count();
-    c.meaning_vocab = world_->meaning_count();
-    c.sentence_length = 6;
-    c.embed_dim = 16;
-    c.feature_dim = 12;
-    c.hidden_dim = 32;
-    return c;
-  }
+  static CodecConfig codec_config() { return test::codec_for_world(*world_); }
   static text::World* world_;
 };
 

@@ -1,0 +1,103 @@
+// Shared helpers for the semcache test suites.
+//
+// Pulls together the bits every suite was re-inventing inline: a
+// seeded-RNG fixture, near-equality comparators for float spans /
+// tensors, and the tiny SystemConfig factory used by the trained-system
+// suites (test_core, test_failure_injection, test_integration).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "core/system.hpp"
+#include "tensor/tensor.hpp"
+
+namespace semcache::test {
+
+/// Fair-coin random bit vector; the standard payload generator for the
+/// channel-stack suites.
+inline BitVec random_bits(std::size_t n, Rng& rng) {
+  BitVec bits(n);
+  for (auto& b : bits) b = rng.bernoulli(0.5) ? 1 : 0;
+  return bits;
+}
+
+/// Fixture for tests whose only setup is a deterministic RNG. Derive and
+/// optionally pass a custom seed from the subclass constructor.
+class SeededRngTest : public ::testing::Test {
+ protected:
+  explicit SeededRngTest(std::uint64_t seed = 42) : rng_(seed) {}
+  Rng rng_;
+};
+
+/// Element-wise near-equality over two float spans. Reports the first
+/// offending index, the values, and the sizes on failure so EXPECT_TRUE
+/// output is directly actionable.
+inline ::testing::AssertionResult AllNear(std::span<const float> a,
+                                          std::span<const float> b,
+                                          double tol) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "size mismatch: " << a.size() << " vs " << b.size();
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = std::abs(static_cast<double>(a[i]) -
+                                 static_cast<double>(b[i]));
+    if (!(diff <= tol)) {  // NaN-safe: NaN fails the comparison
+      return ::testing::AssertionFailure()
+             << "element " << i << ": " << a[i] << " vs " << b[i]
+             << " (|diff| = " << diff << " > " << tol << ")";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Tensor overload: shapes must match exactly, values up to `tol`.
+inline ::testing::AssertionResult AllNear(const tensor::Tensor& a,
+                                          const tensor::Tensor& b,
+                                          double tol) {
+  if (a.shape() != b.shape()) {
+    return ::testing::AssertionFailure() << "shape mismatch";
+  }
+  return AllNear(std::span<const float>(a.data(), a.size()),
+                 std::span<const float>(b.data(), b.size()), tol);
+}
+
+/// Codec config sized for a generated world, with the small 16/12/32
+/// dims the suites standardize on. Vocab sizes and sentence length come
+/// from the world so the config is always consistent with it.
+inline semantic::CodecConfig codec_for_world(const text::World& world,
+                                             std::size_t embed_dim = 16,
+                                             std::size_t feature_dim = 12,
+                                             std::size_t hidden_dim = 32) {
+  semantic::CodecConfig c;
+  c.surface_vocab = world.surface_count();
+  c.meaning_vocab = world.meaning_count();
+  c.sentence_length = world.config().sentence_length;
+  c.embed_dim = embed_dim;
+  c.feature_dim = feature_dim;
+  c.hidden_dim = hidden_dim;
+  return c;
+}
+
+/// Tiny SystemConfig shared by the trained-system suites: 2 domains,
+/// 6-token sentences, and a small 16/12/32 codec that pretrains in around
+/// a second. Callers override world size, pretrain steps, triggers, and
+/// selector mode per test; only the common skeleton lives here.
+inline core::SystemConfig tiny_system_config(std::uint64_t seed) {
+  core::SystemConfig config;
+  config.seed = seed;
+  config.world.num_domains = 2;
+  config.world.sentence_length = 6;
+  config.codec.embed_dim = 16;
+  config.codec.feature_dim = 12;
+  config.codec.hidden_dim = 32;
+  return config;
+}
+
+}  // namespace semcache::test
