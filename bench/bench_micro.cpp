@@ -1,6 +1,8 @@
 // Micro-benchmarks (google-benchmark) for the performance-critical
-// primitives: tensor matmul, codec encode/decode, Viterbi decoding,
-// Huffman coding, cache operations, quantization, and the event loop.
+// primitives: tensor matmul (square, rectangular, and allocation-free
+// variants), codec encode/decode/train (single and batched), the selector
+// forward pass, cache get/put and eviction, gradient-sync compression,
+// Viterbi decoding, Huffman coding, quantization, and the event loop.
 #include <benchmark/benchmark.h>
 
 #include "cache/cache.hpp"
@@ -8,8 +10,11 @@
 #include "channel/modulation.hpp"
 #include "compress/huffman.hpp"
 #include "edge/sim.hpp"
+#include "fl/compressor.hpp"
+#include "select/gru_classifier.hpp"
 #include "semantic/codec.hpp"
 #include "semantic/quantizer.hpp"
+#include "semantic/trainer.hpp"
 #include "tensor/ops.hpp"
 
 using namespace semcache;
@@ -25,7 +30,46 @@ static void BM_TensorMatmul(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n * n * n));
 }
-BENCHMARK(BM_TensorMatmul)->Arg(16)->Arg(64)->Arg(128);
+BENCHMARK(BM_TensorMatmul)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
+// Non-square shapes exercise the blocked kernel's remainder paths: the
+// codec's forward/backward shapes (skinny), plus tall and wide panels.
+static void BM_TensorMatmulRect(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto n = static_cast<std::size_t>(state.range(2));
+  Rng rng(1);
+  const auto a = tensor::Tensor::uniform({m, k}, 1.0f, rng);
+  const auto b = tensor::Tensor::uniform({k, n}, 1.0f, rng);
+  tensor::Tensor c;
+  for (auto _ : state) {
+    tensor::matmul_into(c, a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m * k * n));
+}
+BENCHMARK(BM_TensorMatmulRect)
+    ->Args({8, 48, 200})   // decoder output projection (L x hidden x vocab)
+    ->Args({8, 20, 48})    // encoder hidden projection
+    ->Args({192, 48, 200}) // 24-sentence fine-tune batch through the decoder
+    ->Args({256, 64, 16})  // tall-skinny
+    ->Args({16, 64, 256}); // short-wide
+
+// The fused y = xW + b epilogue vs. the two-pass affine it replaced.
+static void BM_TensorAffine(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const auto x = tensor::Tensor::uniform({m, 48}, 1.0f, rng);
+  const auto w = tensor::Tensor::uniform({48, 200}, 1.0f, rng);
+  const auto bias = tensor::Tensor::uniform({200}, 1.0f, rng);
+  tensor::Tensor y;
+  for (auto _ : state) {
+    tensor::affine_into(y, x, w, bias);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_TensorAffine)->Arg(8)->Arg(64);
 
 namespace {
 semantic::CodecConfig micro_codec_config() {
@@ -73,6 +117,67 @@ static void BM_CodecTrainStep(benchmark::State& state) {
 }
 BENCHMARK(BM_CodecTrainStep);
 
+// Batched codec entry points: N sentences stacked as N*L rows through one
+// kernel invocation per layer. items/s counts sentences, so the per-sentence
+// amortization vs. BM_CodecEncode / BM_CodecTrainStep is directly readable.
+static void BM_CodecEncodeBatch(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  semantic::SemanticCodec codec(micro_codec_config(), rng);
+  std::vector<std::int32_t> surface(count * 8);
+  for (std::size_t i = 0; i < surface.size(); ++i) {
+    surface[i] = static_cast<std::int32_t>(i % 300);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        codec.encoder().encode_batch(surface, count).data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_CodecEncodeBatch)->Arg(1)->Arg(8)->Arg(32);
+
+static void BM_CodecTrainStepBatch(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  semantic::SemanticCodec codec(micro_codec_config(), rng);
+  std::vector<std::int32_t> surface(count * 8);
+  std::vector<std::int32_t> meanings(count * 8);
+  for (std::size_t i = 0; i < surface.size(); ++i) {
+    surface[i] = static_cast<std::int32_t>(i % 300);
+    meanings[i] = static_cast<std::int32_t>((i * 7) % 200);
+  }
+  for (auto _ : state) {
+    codec.forward_loss_batch(surface, meanings, count);
+    codec.backward();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_CodecTrainStepBatch)->Arg(8)->Arg(32);
+
+// Selector forward pass: the per-message model-selection cost on the
+// transmit hot path (§III-A), measured on the GRU classifier with a few
+// messages of conversation context.
+static void BM_SelectorForward(benchmark::State& state) {
+  Rng rng(11);
+  select::GruClassifier selector(300, 4, rng);
+  const std::vector<std::int32_t> surface = {3, 14, 15, 92, 6, 53, 58, 9};
+  for (std::size_t warm = 0; warm < 3; ++warm) {
+    selector.observe(surface, warm % 4);
+  }
+  // Each iteration: a 4-message conversation, one select per message (the
+  // GRU re-runs the growing prefix, as the online path does).
+  for (auto _ : state) {
+    for (int msg = 0; msg < 4; ++msg) {
+      benchmark::DoNotOptimize(selector.select(surface));
+    }
+    selector.reset_context();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4);
+}
+BENCHMARK(BM_SelectorForward);
+
 static void BM_ViterbiDecode(benchmark::State& state) {
   const auto bits = static_cast<std::size_t>(state.range(0));
   Rng rng(5);
@@ -118,6 +223,43 @@ static void BM_CacheGetPut(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CacheGetPut);
+
+// Eviction path: the cache is sized for 64 entries and fed a 1024-key
+// cycle, so nearly every put must choose and expel an LRU victim — the
+// model-churn regime of a saturated edge (E5).
+static void BM_CacheEviction(benchmark::State& state) {
+  cache::Cache<int> c(64 * 64, cache::make_lru_policy());
+  cache::EntryInfo info;
+  info.size_bytes = 64;
+  int i = 0;
+  for (auto _ : state) {
+    const std::string key = "k" + std::to_string(i++ % 1024);
+    c.put(key, std::make_shared<int>(i), info);
+  }
+  state.counters["evictions"] =
+      static_cast<double>(c.stats().evictions) /
+      static_cast<double>(std::max<std::int64_t>(1, state.iterations()));
+}
+BENCHMARK(BM_CacheEviction);
+
+// Gradient-sync compression (§II-D / E9): top-k sparsification + int8
+// quantization of a decoder-sized delta, the per-update cost on the
+// fine-tune sync path.
+static void BM_SyncCompress(benchmark::State& state) {
+  const auto dims = static_cast<std::size_t>(state.range(0));
+  Rng rng(13);
+  std::vector<float> delta(dims);
+  for (auto& d : delta) {
+    d = static_cast<float>(rng.gaussian(0.0, 0.01));
+  }
+  const fl::DeltaCompressor compressor({/*top_k_fraction=*/0.25, /*bits=*/8});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compressor.compress(delta).byte_size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dims));
+}
+BENCHMARK(BM_SyncCompress)->Arg(10000)->Arg(100000);
 
 static void BM_Quantizer(benchmark::State& state) {
   semantic::FeatureQuantizer q(16, 6);

@@ -7,11 +7,18 @@
 # the exit status and wall-clock time. bench_micro is Google Benchmark
 # and emits native JSON directly.
 #
+# After the run, results are diffed against the checked-in perf baseline
+# (bench/BASELINE.json, captured at PR 1): a per-benchmark delta table is
+# printed so regressions are visible in CI logs and PR descriptions.
+#
 # Environment:
 #   BENCH_BIN_DIR   directory holding the bench binaries (default: ./build)
 #   BENCH_OUT_DIR   where the JSON lands (default: $BENCH_BIN_DIR/bench_out)
 #   BENCH_FILTER    only run binaries whose name matches this grep pattern
 #   BENCH_TIMEOUT   per-bench timeout in seconds (default: 1800)
+#   BENCH_BASELINE  baseline file to diff against (default:
+#                   bench/BASELINE.json next to this script; set empty to
+#                   skip the diff)
 #
 # Invoked by `cmake --build build --target bench`, or standalone:
 #   BENCH_BIN_DIR=build bench/run_all.sh
@@ -89,6 +96,63 @@ EOF
 done
 
 echo "ran ${ran} benches, ${failures} failed; output in ${BENCH_OUT_DIR}"
+
+# ---- baseline diff ----------------------------------------------------------
+# Compare this run against the checked-in snapshot. Informational only: the
+# table makes perf drift diffable across PRs, but never fails the run (noisy
+# CI machines would flap; gating thresholds belong to a reviewer, not a
+# script).
+BENCH_BASELINE="${BENCH_BASELINE-$(dirname "$0")/BASELINE.json}"
+if [ -n "${BENCH_BASELINE}" ] && [ -f "${BENCH_BASELINE}" ]; then
+  python3 - "${BENCH_BASELINE}" "${BENCH_OUT_DIR}" <<'EOF'
+import glob, json, os, sys
+
+baseline_path, out_dir = sys.argv[1], sys.argv[2]
+base = json.load(open(baseline_path))
+
+rows = []  # (name, baseline, current, unit)
+micro_path = os.path.join(out_dir, "BENCH_bench_micro.json")
+if os.path.exists(micro_path):
+    try:
+        current = {b["name"]: b["real_time"]
+                   for b in json.load(open(micro_path)).get("benchmarks", [])}
+    except ValueError:
+        current = {}
+    for name, ns in sorted(base.get("micro_ns", {}).items()):
+        rows.append((name, ns, current.get(name), "ns"))
+    for name in sorted(set(current) - set(base.get("micro_ns", {}))):
+        rows.append((name, None, current[name], "ns"))
+
+base_wall = base.get("wall_s", {})
+cur_wall = {}
+for path in glob.glob(os.path.join(out_dir, "BENCH_bench_e*.json")):
+    try:
+        d = json.load(open(path))
+        cur_wall[d["bench"]] = d["wall_s"]
+    except (ValueError, KeyError):
+        pass
+for name in sorted(set(base_wall) | set(cur_wall)):
+    rows.append((name, base_wall.get(name), cur_wall.get(name), "s"))
+
+if not rows:
+    sys.exit(0)
+print()
+print(f"== perf delta vs {baseline_path} "
+      f"(captured at {base.get('captured_at', '?')}; negative = faster)")
+name_w = max(len(r[0]) for r in rows)
+print(f"{'benchmark':<{name_w}}  {'baseline':>12}  {'current':>12}  {'delta':>8}")
+for name, old, new, unit in rows:
+    fmt = (lambda v: "-" if v is None else
+           (f"{v:,.0f}{unit}" if unit == "ns" else f"{v:.2f}{unit}"))
+    if old and new:
+        delta = f"{100.0 * (new - old) / old:+.1f}%"
+    elif old is None:
+        delta = "new"
+    else:
+        delta = "gone"
+    print(f"{name:<{name_w}}  {fmt(old):>12}  {fmt(new):>12}  {delta:>8}")
+EOF
+fi
 # Zero matches means a wrong BENCH_BIN_DIR or stale BENCH_FILTER — fail
 # loudly instead of reporting an empty perf trajectory as success.
 [ "${ran}" -gt 0 ] && [ "${failures}" -eq 0 ]

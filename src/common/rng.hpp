@@ -49,6 +49,9 @@ class Rng {
 
   std::uint64_t seed() const { return seed_; }
   std::mt19937_64& engine() { return engine_; }
+  /// Read-only engine access (state capture/fingerprinting; mt19937_64
+  /// round-trips exactly through iostream insertion/extraction).
+  const std::mt19937_64& engine() const { return engine_; }
 
  private:
   std::uint64_t seed_;

@@ -50,6 +50,11 @@ struct SystemConfig {
   std::size_t buffer_capacity = 256;
   std::size_t finetune_epochs = 6;
   double finetune_lr = 1.5e-3;
+  /// Samples stacked per fine-tune optimizer step (through the codec's
+  /// batched entry points). 1 = per-sample Adam, the paper-faithful
+  /// default; larger values trade update granularity for kernel
+  /// amortization on busy edges.
+  std::size_t finetune_batch_size = 1;
   fl::CompressionConfig sync_compression{/*top_k_fraction=*/0.25, /*bits=*/8};
 
   /// Ablation switch (§II-C): with the decoder copy disabled, mismatch

@@ -40,7 +40,8 @@ void SemanticEdgeSystem::run_update(const std::string& sender,
   semantic::CodecTrainer::finetune(*scratch, sslot->buffer->samples(),
                                    config_.finetune_epochs,
                                    config_.finetune_lr, ft_rng,
-                                   config_.pretrain.feature_noise);
+                                   config_.pretrain.feature_noise,
+                                   config_.finetune_batch_size);
 
   // Build the decoder sync message from pre/post snapshots.
   const std::vector<float> before =
@@ -162,7 +163,12 @@ void SemanticEdgeSystem::transmit_async(
   UserModelSlot& rslot = *rstate.find_slot(sender, m);
 
   // ================= data plane (eager) =================
-  const tensor::Tensor feature = sslot.model->encoder().encode(message.surface);
+  // Batched entry point with count 1: same math as encode(), but keeps the
+  // whole data plane on the allocation-free batch path (a future batched
+  // transmit stacks N messages here). The reference is valid until this
+  // encoder's next encode, which happens only after this block.
+  const tensor::Tensor& feature =
+      sslot.model->encoder().encode_batch(message.surface, 1);
   const BitVec payload = quantizer_->quantize(feature);
 
   BitVec received_bits = payload;

@@ -63,14 +63,22 @@ double ConfusionMatrix::macro_f1() const {
 
 std::string ConfusionMatrix::to_string(
     const std::vector<std::string>& labels) const {
+  // Build the default label via += rather than "c" + to_string(): GCC 12's
+  // -O3 -Werror=restrict misfires on const char* + std::string&& (PR105329).
+  const auto label_or_default = [&labels](std::size_t i) {
+    if (i < labels.size()) return labels[i];
+    std::string fallback = "c";
+    fallback += std::to_string(i);
+    return fallback;
+  };
   std::ostringstream os;
   os << "truth\\pred";
   for (std::size_t c = 0; c < k_; ++c) {
-    os << '\t' << (c < labels.size() ? labels[c] : "c" + std::to_string(c));
+    os << '\t' << label_or_default(c);
   }
   os << '\n';
   for (std::size_t t = 0; t < k_; ++t) {
-    os << (t < labels.size() ? labels[t] : "c" + std::to_string(t));
+    os << label_or_default(t);
     for (std::size_t p = 0; p < k_; ++p) os << '\t' << cells_[t * k_ + p];
     os << '\n';
   }

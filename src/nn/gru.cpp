@@ -1,36 +1,52 @@
 #include "nn/gru.hpp"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/check.hpp"
 
 namespace semcache::nn {
 
-using tensor::add_inplace;
-using tensor::column_sums;
-using tensor::matmul;
-using tensor::transpose;
+using tensor::affine_into;
+using tensor::column_sums_acc;
+using tensor::matmul_acc;
+using tensor::matmul_nt_acc;
+using tensor::matmul_nt_into;
+using tensor::matmul_tn_acc;
 
 namespace {
-Tensor sigmoid(const Tensor& t) {
-  Tensor y = t;
-  for (std::size_t i = 0; i < y.size(); ++i) {
-    y.at(i) = 1.0f / (1.0f + std::exp(-y.at(i)));
+/// out = σ(t), element-wise; out is resized to t's shape.
+void sigmoid_into(Tensor& out, const Tensor& t) {
+  out.resize(t.shape());
+  const float* pt = t.data();
+  float* po = out.data();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    po[i] = 1.0f / (1.0f + std::exp(-pt[i]));
   }
-  return y;
 }
 
-Tensor tanh_t(const Tensor& t) {
-  Tensor y = t;
-  for (std::size_t i = 0; i < y.size(); ++i) y.at(i) = std::tanh(y.at(i));
-  return y;
+/// out = tanh(t), element-wise; out is resized to t's shape.
+void tanh_into(Tensor& out, const Tensor& t) {
+  out.resize(t.shape());
+  const float* pt = t.data();
+  float* po = out.data();
+  for (std::size_t i = 0; i < out.size(); ++i) po[i] = std::tanh(pt[i]);
 }
 
-/// Extract row i of a rank-2 tensor as a (1 x cols) tensor.
-Tensor row(const Tensor& t, std::size_t i) {
-  Tensor out({1, t.dim(1)});
-  for (std::size_t j = 0; j < t.dim(1); ++j) out.at(0, j) = t.at(i, j);
-  return out;
+/// out = a ⊙ b (same shape); out is resized.
+void mul_into(Tensor& out, const Tensor& a, const Tensor& b) {
+  out.resize(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (std::size_t i = 0; i < out.size(); ++i) po[i] = pa[i] * pb[i];
+}
+
+/// Copy row i of a rank-2 tensor into out as a (1 x cols) tensor.
+void copy_row(Tensor& out, const Tensor& t, std::size_t i) {
+  const std::size_t cols = t.dim(1);
+  out.resize({1, cols});
+  std::memcpy(out.data(), t.data() + i * cols, cols * sizeof(float));
 }
 }  // namespace
 
@@ -48,58 +64,74 @@ Gru::Gru(std::size_t input_dim, std::size_t hidden_dim, Rng& rng,
       uh_(name + ".uh", Tensor::xavier(hidden_dim, hidden_dim, rng)),
       bh_(name + ".bh", Tensor::zeros({hidden_dim})) {}
 
-Tensor Gru::forward(const Tensor& xs) {
+const Tensor& Gru::forward(const Tensor& xs) {
   SEMCACHE_CHECK(xs.rank() == 2 && xs.dim(1) == in_,
                  "gru: input must be (T x input_dim)");
   const std::size_t t_steps = xs.dim(0);
-  cache_.clear();
-  cache_.reserve(t_steps);
+  if (cache_.size() < t_steps) cache_.resize(t_steps);
+  steps_ = t_steps;
 
-  Tensor hs({t_steps, hid_});
-  Tensor h = Tensor::zeros({1, hid_});
+  hs_.resize({t_steps, hid_});
+  Tensor& h = ws_.acquire_zeroed(kH, {1, hid_});
+  Tensor& pre = ws_.acquire(kPre, {1, hid_});
+  Tensor& rh = ws_.acquire(kRh, {1, hid_});
   for (std::size_t t = 0; t < t_steps; ++t) {
-    const Tensor x = row(xs, t);
-    Tensor az = tensor::affine(x, wz_.value, bz_.value);
-    add_inplace(az, matmul(h, uz_.value));
-    const Tensor z = sigmoid(az);
+    StepCache& c = cache_[t];
+    copy_row(c.x, xs, t);
+    c.h_prev = h;
 
-    Tensor ar = tensor::affine(x, wr_.value, br_.value);
-    add_inplace(ar, matmul(h, ur_.value));
-    const Tensor r = sigmoid(ar);
+    affine_into(pre, c.x, wz_.value, bz_.value);
+    matmul_acc(pre, c.h_prev, uz_.value);
+    sigmoid_into(c.z, pre);
 
-    const Tensor rh = tensor::mul(r, h);
-    Tensor ah = tensor::affine(x, wh_.value, bh_.value);
-    add_inplace(ah, matmul(rh, uh_.value));
-    const Tensor h_tilde = tanh_t(ah);
+    affine_into(pre, c.x, wr_.value, br_.value);
+    matmul_acc(pre, c.h_prev, ur_.value);
+    sigmoid_into(c.r, pre);
 
-    Tensor h_next({1, hid_});
+    mul_into(rh, c.r, c.h_prev);
+    affine_into(pre, c.x, wh_.value, bh_.value);
+    matmul_acc(pre, rh, uh_.value);
+    tanh_into(c.h_tilde, pre);
+
+    float* ph = h.data();
+    float* hs_row = hs_.data() + t * hid_;
+    const float* pz = c.z.data();
+    const float* pp = c.h_prev.data();
+    const float* pt = c.h_tilde.data();
     for (std::size_t j = 0; j < hid_; ++j) {
-      h_next.at(0, j) = (1.0f - z.at(0, j)) * h.at(0, j) +
-                        z.at(0, j) * h_tilde.at(0, j);
-      hs.at(t, j) = h_next.at(0, j);
+      const float hv = (1.0f - pz[j]) * pp[j] + pz[j] * pt[j];
+      ph[j] = hv;
+      hs_row[j] = hv;
     }
-    cache_.push_back({x, h, z, r, h_tilde});
-    h = h_next;
   }
-  return hs;
+  return hs_;
 }
 
-Tensor Gru::backward(const Tensor& grad_hs) {
-  SEMCACHE_CHECK(grad_hs.rank() == 2 && grad_hs.dim(0) == cache_.size() &&
+const Tensor& Gru::backward(const Tensor& grad_hs) {
+  SEMCACHE_CHECK(grad_hs.rank() == 2 && grad_hs.dim(0) == steps_ &&
                      grad_hs.dim(1) == hid_,
                  "gru: grad_hs must be (T x hidden_dim) matching forward");
-  const std::size_t t_steps = cache_.size();
-  Tensor dxs({t_steps, in_});
-  Tensor dh_next = Tensor::zeros({1, hid_});  // dL/dh_t flowing from t+1
+  const std::size_t t_steps = steps_;
+  dxs_.resize({t_steps, in_});
+  Tensor& dh_next = ws_.acquire_zeroed(kDhPrev, {1, hid_});
+  Tensor& dh = ws_.acquire(kDh, {1, hid_});
+  Tensor& da_z = ws_.acquire(kDaZ, {1, hid_});
+  Tensor& da_h = ws_.acquire(kDaH, {1, hid_});
+  Tensor& da_r = ws_.acquire(kDaR, {1, hid_});
+  Tensor& g_rh = ws_.acquire(kGRh, {1, hid_});
+  Tensor& rh = ws_.acquire(kRh, {1, hid_});
+  Tensor& dx = ws_.acquire(kPre, {1, in_});
 
   for (std::size_t ti = t_steps; ti-- > 0;) {
     const StepCache& c = cache_[ti];
     // Total gradient at h_t: from the per-step loss plus from step t+1.
-    Tensor dh = dh_next;
-    for (std::size_t j = 0; j < hid_; ++j) dh.at(0, j) += grad_hs.at(ti, j);
+    {
+      const float* pn = dh_next.data();
+      const float* pg = grad_hs.data() + ti * hid_;
+      float* pd = dh.data();
+      for (std::size_t j = 0; j < hid_; ++j) pd[j] = pn[j] + pg[j];
+    }
 
-    Tensor da_z({1, hid_});
-    Tensor da_h({1, hid_});
     for (std::size_t j = 0; j < hid_; ++j) {
       const float z = c.z.at(0, j);
       const float ht = c.h_tilde.at(0, j);
@@ -108,44 +140,47 @@ Tensor Gru::backward(const Tensor& grad_hs) {
     }
 
     // Gradient w.r.t. (r ⊙ h_prev) through U_h.
-    const Tensor g_rh = matmul(da_h, transpose(uh_.value));
-    Tensor da_r({1, hid_});
+    matmul_nt_into(g_rh, da_h, uh_.value);
     for (std::size_t j = 0; j < hid_; ++j) {
       const float r = c.r.at(0, j);
       da_r.at(0, j) = g_rh.at(0, j) * c.h_prev.at(0, j) * r * (1.0f - r);
     }
 
-    // Parameter gradients.
-    const Tensor xt_T = transpose(c.x);
-    const Tensor hprev_T = transpose(c.h_prev);
-    const Tensor rh = tensor::mul(c.r, c.h_prev);
-    add_inplace(wz_.grad, matmul(xt_T, da_z));
-    add_inplace(uz_.grad, matmul(hprev_T, da_z));
-    add_inplace(bz_.grad, column_sums(da_z));
-    add_inplace(wr_.grad, matmul(xt_T, da_r));
-    add_inplace(ur_.grad, matmul(hprev_T, da_r));
-    add_inplace(br_.grad, column_sums(da_r));
-    add_inplace(wh_.grad, matmul(xt_T, da_h));
-    add_inplace(uh_.grad, matmul(transpose(rh), da_h));
-    add_inplace(bh_.grad, column_sums(da_h));
+    // Parameter gradients, accumulated directly via the transposed kernels
+    // (no xᵀ / h_prevᵀ temporaries).
+    mul_into(rh, c.r, c.h_prev);
+    matmul_tn_acc(wz_.grad, c.x, da_z);
+    matmul_tn_acc(uz_.grad, c.h_prev, da_z);
+    column_sums_acc(bz_.grad, da_z);
+    matmul_tn_acc(wr_.grad, c.x, da_r);
+    matmul_tn_acc(ur_.grad, c.h_prev, da_r);
+    column_sums_acc(br_.grad, da_r);
+    matmul_tn_acc(wh_.grad, c.x, da_h);
+    matmul_tn_acc(uh_.grad, rh, da_h);
+    column_sums_acc(bh_.grad, da_h);
 
     // Input gradient.
-    Tensor dx = matmul(da_z, transpose(wz_.value));
-    add_inplace(dx, matmul(da_r, transpose(wr_.value)));
-    add_inplace(dx, matmul(da_h, transpose(wh_.value)));
-    for (std::size_t j = 0; j < in_; ++j) dxs.at(ti, j) = dx.at(0, j);
+    matmul_nt_into(dx, da_z, wz_.value);
+    matmul_nt_acc(dx, da_r, wr_.value);
+    matmul_nt_acc(dx, da_h, wh_.value);
+    std::memcpy(dxs_.data() + ti * in_, dx.data(), in_ * sizeof(float));
 
-    // Hidden-state gradient to step t-1.
-    Tensor dh_prev({1, hid_});
-    for (std::size_t j = 0; j < hid_; ++j) {
-      dh_prev.at(0, j) =
-          dh.at(0, j) * (1.0f - c.z.at(0, j)) + g_rh.at(0, j) * c.r.at(0, j);
+    // Hidden-state gradient to step t-1 (reuses the dh_next slot: dh was
+    // already folded into da_z / da_h / the (1-z) term below).
+    {
+      float* pd = dh_next.data();
+      const float* pz = c.z.data();
+      const float* pr = c.r.data();
+      const float* pg = g_rh.data();
+      const float* ph = dh.data();
+      for (std::size_t j = 0; j < hid_; ++j) {
+        pd[j] = ph[j] * (1.0f - pz[j]) + pg[j] * pr[j];
+      }
     }
-    add_inplace(dh_prev, matmul(da_z, transpose(uz_.value)));
-    add_inplace(dh_prev, matmul(da_r, transpose(ur_.value)));
-    dh_next = dh_prev;
+    matmul_nt_acc(dh_next, da_z, uz_.value);
+    matmul_nt_acc(dh_next, da_r, ur_.value);
   }
-  return dxs;
+  return dxs_;
 }
 
 std::vector<Parameter*> Gru::parameters() {

@@ -8,11 +8,16 @@
 //   r_t = σ(x_t W_r + h_{t-1} U_r + b_r)
 //   h̃_t = tanh(x_t W_h + (r_t ⊙ h_{t-1}) U_h + b_h)
 //   h_t = (1 − z_t) ⊙ h_{t-1} + z_t ⊙ h̃_t
+//
+// All per-step intermediates live in a tensor::Workspace and the step cache
+// is a grow-only pool, so repeated forwards/backwards over same-or-smaller
+// sequences run allocation-free.
 #pragma once
 
 #include <vector>
 
 #include "nn/layers.hpp"
+#include "tensor/workspace.hpp"
 
 namespace semcache::nn {
 
@@ -22,13 +27,14 @@ class Gru {
       std::string name = "gru");
 
   /// Run over a sequence: xs is (T x input_dim); returns (T x hidden_dim)
-  /// hidden states h_1..h_T. Initial hidden state is zero.
-  Tensor forward(const Tensor& xs);
+  /// hidden states h_1..h_T (internal buffer; valid until the next
+  /// forward). Initial hidden state is zero.
+  const Tensor& forward(const Tensor& xs);
 
   /// BPTT. grad_hs is (T x hidden_dim) = dL/dh_t for every step (zero rows
   /// for steps without a loss term). Accumulates parameter gradients and
-  /// returns dL/dxs (T x input_dim).
-  Tensor backward(const Tensor& grad_hs);
+  /// returns dL/dxs (T x input_dim; internal buffer).
+  const Tensor& backward(const Tensor& grad_hs);
 
   std::vector<Parameter*> parameters();
   std::size_t input_dim() const { return in_; }
@@ -43,12 +49,29 @@ class Gru {
     Tensor h_tilde;  // (1 x hid)
   };
 
+  // Workspace slot ids for the per-step scratch tensors.
+  enum Slot : std::size_t {
+    kH,       // running hidden state (forward)
+    kPre,     // gate pre-activation a_z / a_r / a_h
+    kRh,      // r ⊙ h_prev
+    kDh,      // dL/dh_t (backward)
+    kDaZ,     // dL/da_z
+    kDaH,     // dL/da_h
+    kDaR,     // dL/da_r
+    kGRh,     // gradient w.r.t. (r ⊙ h_prev)
+    kDhPrev,  // dL/dh_{t-1}
+  };
+
   std::size_t in_;
   std::size_t hid_;
   Parameter wz_, uz_, bz_;
   Parameter wr_, ur_, br_;
   Parameter wh_, uh_, bh_;
-  std::vector<StepCache> cache_;
+  std::vector<StepCache> cache_;  // grow-only pool; steps_ entries are live
+  std::size_t steps_ = 0;
+  tensor::Workspace ws_;
+  Tensor hs_;   // (T x hid) forward output
+  Tensor dxs_;  // (T x in) backward output
 };
 
 }  // namespace semcache::nn

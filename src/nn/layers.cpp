@@ -1,16 +1,16 @@
 #include "nn/layers.hpp"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/check.hpp"
 
 namespace semcache::nn {
 
-using tensor::add_inplace;
-using tensor::affine;
-using tensor::column_sums;
-using tensor::matmul;
-using tensor::transpose;
+using tensor::affine_into;
+using tensor::column_sums_acc;
+using tensor::matmul_nt_into;
+using tensor::matmul_tn_acc;
 
 Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng,
                std::string name)
@@ -18,84 +18,90 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng,
       w_(name_ + ".w", Tensor::xavier(in_features, out_features, rng)),
       b_(name_ + ".b", Tensor::zeros({out_features})) {}
 
-Tensor Linear::forward(const Tensor& x) {
+const Tensor& Linear::forward(const Tensor& x) {
   SEMCACHE_CHECK(x.rank() == 2 && x.dim(1) == w_.value.dim(0),
                  name_ + ": input shape " + x.shape_string() +
                      " incompatible with weight " + w_.value.shape_string());
   last_input_ = x;
-  return affine(x, w_.value, b_.value);
+  affine_into(out_, x, w_.value, b_.value);
+  return out_;
 }
 
-Tensor Linear::backward(const Tensor& grad_out) {
+const Tensor& Linear::backward(const Tensor& grad_out) {
   SEMCACHE_CHECK(last_input_.size() > 0, name_ + ": backward before forward");
-  // dW = xᵀ dy, db = column sums of dy, dx = dy Wᵀ.
-  add_inplace(w_.grad, matmul(transpose(last_input_), grad_out));
-  add_inplace(b_.grad, column_sums(grad_out));
-  return matmul(grad_out, transpose(w_.value));
+  SEMCACHE_CHECK(grad_out.same_shape(out_),
+                 name_ + ": backward shape mismatch");
+  // dW += xᵀ dy, db += column sums of dy, dx = dy Wᵀ — the transposed-kernel
+  // variants avoid materializing xᵀ / Wᵀ on every step.
+  matmul_tn_acc(w_.grad, last_input_, grad_out);
+  column_sums_acc(b_.grad, grad_out);
+  matmul_nt_into(dx_, grad_out, w_.value);
+  return dx_;
 }
 
-Tensor ReLU::forward(const Tensor& x) {
-  last_input_ = x;
-  Tensor y = x;
-  float* py = y.data();
-  for (std::size_t i = 0; i < y.size(); ++i) {
-    if (py[i] < 0.0f) py[i] = 0.0f;
+const Tensor& ReLU::forward(const Tensor& x) {
+  out_.resize(x.shape());
+  const float* px = x.data();
+  float* py = out_.data();
+  for (std::size_t i = 0; i < out_.size(); ++i) {
+    py[i] = px[i] < 0.0f ? 0.0f : px[i];
   }
-  return y;
+  return out_;
 }
 
-Tensor ReLU::backward(const Tensor& grad_out) {
-  SEMCACHE_CHECK(grad_out.same_shape(last_input_),
-                 "relu: backward shape mismatch");
-  Tensor dx = grad_out;
-  float* pd = dx.data();
-  const float* px = last_input_.data();
-  for (std::size_t i = 0; i < dx.size(); ++i) {
-    if (px[i] <= 0.0f) pd[i] = 0.0f;
+const Tensor& ReLU::backward(const Tensor& grad_out) {
+  SEMCACHE_CHECK(grad_out.same_shape(out_), "relu: backward shape mismatch");
+  dx_.resize(grad_out.shape());
+  float* pd = dx_.data();
+  const float* pg = grad_out.data();
+  const float* py = out_.data();
+  for (std::size_t i = 0; i < dx_.size(); ++i) {
+    pd[i] = py[i] <= 0.0f ? 0.0f : pg[i];
   }
-  return dx;
+  return dx_;
 }
 
-Tensor Tanh::forward(const Tensor& x) {
-  Tensor y = x;
-  float* py = y.data();
-  for (std::size_t i = 0; i < y.size(); ++i) py[i] = std::tanh(py[i]);
-  last_output_ = y;
-  return y;
+const Tensor& Tanh::forward(const Tensor& x) {
+  out_.resize(x.shape());
+  const float* px = x.data();
+  float* py = out_.data();
+  for (std::size_t i = 0; i < out_.size(); ++i) py[i] = std::tanh(px[i]);
+  return out_;
 }
 
-Tensor Tanh::backward(const Tensor& grad_out) {
-  SEMCACHE_CHECK(grad_out.same_shape(last_output_),
-                 "tanh: backward shape mismatch");
-  Tensor dx = grad_out;
-  float* pd = dx.data();
-  const float* py = last_output_.data();
-  for (std::size_t i = 0; i < dx.size(); ++i) {
-    pd[i] *= (1.0f - py[i] * py[i]);
+const Tensor& Tanh::backward(const Tensor& grad_out) {
+  SEMCACHE_CHECK(grad_out.same_shape(out_), "tanh: backward shape mismatch");
+  dx_.resize(grad_out.shape());
+  float* pd = dx_.data();
+  const float* pg = grad_out.data();
+  const float* py = out_.data();
+  for (std::size_t i = 0; i < dx_.size(); ++i) {
+    pd[i] = pg[i] * (1.0f - py[i] * py[i]);
   }
-  return dx;
+  return dx_;
 }
 
-Tensor Sigmoid::forward(const Tensor& x) {
-  Tensor y = x;
-  float* py = y.data();
-  for (std::size_t i = 0; i < y.size(); ++i) {
-    py[i] = 1.0f / (1.0f + std::exp(-py[i]));
+const Tensor& Sigmoid::forward(const Tensor& x) {
+  out_.resize(x.shape());
+  const float* px = x.data();
+  float* py = out_.data();
+  for (std::size_t i = 0; i < out_.size(); ++i) {
+    py[i] = 1.0f / (1.0f + std::exp(-px[i]));
   }
-  last_output_ = y;
-  return y;
+  return out_;
 }
 
-Tensor Sigmoid::backward(const Tensor& grad_out) {
-  SEMCACHE_CHECK(grad_out.same_shape(last_output_),
+const Tensor& Sigmoid::backward(const Tensor& grad_out) {
+  SEMCACHE_CHECK(grad_out.same_shape(out_),
                  "sigmoid: backward shape mismatch");
-  Tensor dx = grad_out;
-  float* pd = dx.data();
-  const float* py = last_output_.data();
-  for (std::size_t i = 0; i < dx.size(); ++i) {
-    pd[i] *= py[i] * (1.0f - py[i]);
+  dx_.resize(grad_out.shape());
+  float* pd = dx_.data();
+  const float* pg = grad_out.data();
+  const float* py = out_.data();
+  for (std::size_t i = 0; i < dx_.size(); ++i) {
+    pd[i] = pg[i] * py[i] * (1.0f - py[i]);
   }
-  return dx;
+  return dx_;
 }
 
 LayerNorm::LayerNorm(std::size_t features, std::string name)
@@ -103,14 +109,14 @@ LayerNorm::LayerNorm(std::size_t features, std::string name)
       gain_(name_ + ".gain", Tensor::full({features}, 1.0f)),
       bias_(name_ + ".bias", Tensor::zeros({features})) {}
 
-Tensor LayerNorm::forward(const Tensor& x) {
+const Tensor& LayerNorm::forward(const Tensor& x) {
   SEMCACHE_CHECK(x.rank() == 2 && x.dim(1) == gain_.value.dim(0),
                  name_ + ": input width mismatch");
   const std::size_t m = x.dim(0);
   const std::size_t n = x.dim(1);
-  normalized_ = Tensor({m, n});
-  inv_std_ = Tensor({m});
-  Tensor y({m, n});
+  normalized_.resize({m, n});
+  inv_std_.resize({m});
+  out_.resize({m, n});
   for (std::size_t i = 0; i < m; ++i) {
     float mean = 0.0f;
     for (std::size_t j = 0; j < n; ++j) mean += x.at(i, j);
@@ -126,18 +132,18 @@ Tensor LayerNorm::forward(const Tensor& x) {
     for (std::size_t j = 0; j < n; ++j) {
       const float nz = (x.at(i, j) - mean) * inv_std;
       normalized_.at(i, j) = nz;
-      y.at(i, j) = nz * gain_.value.at(j) + bias_.value.at(j);
+      out_.at(i, j) = nz * gain_.value.at(j) + bias_.value.at(j);
     }
   }
-  return y;
+  return out_;
 }
 
-Tensor LayerNorm::backward(const Tensor& grad_out) {
+const Tensor& LayerNorm::backward(const Tensor& grad_out) {
   SEMCACHE_CHECK(grad_out.same_shape(normalized_),
                  name_ + ": backward shape mismatch");
   const std::size_t m = grad_out.dim(0);
   const std::size_t n = grad_out.dim(1);
-  Tensor dx({m, n});
+  dx_.resize({m, n});
   for (std::size_t i = 0; i < m; ++i) {
     // dnorm_j = dy_j * gain_j; dx via the standard layernorm backward:
     // dx = inv_std * (dnorm - mean(dnorm) - norm * mean(dnorm * norm)).
@@ -152,13 +158,13 @@ Tensor LayerNorm::backward(const Tensor& grad_out) {
     mean_dn_nz /= static_cast<float>(n);
     for (std::size_t j = 0; j < n; ++j) {
       const float dn = grad_out.at(i, j) * gain_.value.at(j);
-      dx.at(i, j) =
+      dx_.at(i, j) =
           inv_std_.at(i) * (dn - mean_dn - normalized_.at(i, j) * mean_dn_nz);
       gain_.grad.at(j) += grad_out.at(i, j) * normalized_.at(i, j);
       bias_.grad.at(j) += grad_out.at(i, j);
     }
   }
-  return dx;
+  return dx_;
 }
 
 Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
@@ -167,18 +173,18 @@ Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
   return *this;
 }
 
-Tensor Sequential::forward(const Tensor& x) {
-  Tensor h = x;
-  for (const auto& layer : layers_) h = layer->forward(h);
-  return h;
+const Tensor& Sequential::forward(const Tensor& x) {
+  const Tensor* h = &x;
+  for (const auto& layer : layers_) h = &layer->forward(*h);
+  return *h;
 }
 
-Tensor Sequential::backward(const Tensor& grad_out) {
-  Tensor g = grad_out;
+const Tensor& Sequential::backward(const Tensor& grad_out) {
+  const Tensor* g = &grad_out;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    g = (*it)->backward(g);
+    g = &(*it)->backward(*g);
   }
-  return g;
+  return *g;
 }
 
 std::vector<Parameter*> Sequential::parameters() {
@@ -195,20 +201,20 @@ Embedding::Embedding(std::size_t vocab_size, std::size_t dim, Rng& rng,
          Tensor::uniform({vocab_size, dim},
                          1.0f / std::sqrt(static_cast<float>(dim)), rng)) {}
 
-Tensor Embedding::forward(std::span<const std::int32_t> ids) {
+const Tensor& Embedding::forward(std::span<const std::int32_t> ids) {
   last_ids_.assign(ids.begin(), ids.end());
   const std::size_t d = dim();
-  Tensor out({ids.size(), d});
-  float* po = out.data();
+  out_.resize({ids.size(), d});
+  float* po = out_.data();
   const float* pw = w_.value.data();
   for (std::size_t i = 0; i < ids.size(); ++i) {
     const auto id = ids[i];
     SEMCACHE_CHECK(id >= 0 && static_cast<std::size_t>(id) < vocab_size(),
                    "embedding: token id out of range");
-    const float* row = pw + static_cast<std::size_t>(id) * d;
-    for (std::size_t j = 0; j < d; ++j) po[i * d + j] = row[j];
+    std::memcpy(po + i * d, pw + static_cast<std::size_t>(id) * d,
+                d * sizeof(float));
   }
-  return out;
+  return out_;
 }
 
 void Embedding::backward(const Tensor& grad_out) {

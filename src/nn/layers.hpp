@@ -8,6 +8,12 @@
 // Convention: inputs/activations are rank-2 tensors (batch x features).
 // forward() caches whatever backward() needs; backward() receives dL/dy,
 // accumulates dL/dparam into each Parameter::grad, and returns dL/dx.
+//
+// Hot-path discipline: forward() and backward() return references to
+// per-layer output buffers that are resized in place (capacity reused), so a
+// warmed-up layer performs no heap allocation per call. The reference stays
+// valid until the layer's next forward()/backward(); callers that need the
+// value past that point copy it (Tensor has value semantics).
 #pragma once
 
 #include <memory>
@@ -17,6 +23,7 @@
 #include "common/rng.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
+#include "tensor/workspace.hpp"
 
 namespace semcache::nn {
 
@@ -42,8 +49,8 @@ class Layer {
   Layer(const Layer&) = delete;
   Layer& operator=(const Layer&) = delete;
 
-  virtual Tensor forward(const Tensor& x) = 0;
-  virtual Tensor backward(const Tensor& grad_out) = 0;
+  virtual const Tensor& forward(const Tensor& x) = 0;
+  virtual const Tensor& backward(const Tensor& grad_out) = 0;
   virtual std::vector<Parameter*> parameters() { return {}; }
   virtual std::string name() const = 0;
 };
@@ -54,8 +61,8 @@ class Linear : public Layer {
   Linear(std::size_t in_features, std::size_t out_features, Rng& rng,
          std::string name = "linear");
 
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward(const Tensor& x) override;
+  const Tensor& backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override { return {&w_, &b_}; }
   std::string name() const override { return name_; }
 
@@ -67,39 +74,45 @@ class Linear : public Layer {
   Parameter w_;
   Parameter b_;
   Tensor last_input_;
+  Tensor out_;
+  Tensor dx_;
 };
 
 /// y = max(x, 0).
 class ReLU : public Layer {
  public:
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward(const Tensor& x) override;
+  const Tensor& backward(const Tensor& grad_out) override;
   std::string name() const override { return "relu"; }
 
  private:
-  Tensor last_input_;
+  // out_ doubles as the backward mask: y == 0 exactly when x <= 0.
+  Tensor out_;
+  Tensor dx_;
 };
 
 /// y = tanh(x).
 class Tanh : public Layer {
  public:
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward(const Tensor& x) override;
+  const Tensor& backward(const Tensor& grad_out) override;
   std::string name() const override { return "tanh"; }
 
  private:
-  Tensor last_output_;
+  Tensor out_;  // cached for backward: dtanh = 1 - y^2
+  Tensor dx_;
 };
 
 /// y = 1 / (1 + exp(-x)).
 class Sigmoid : public Layer {
  public:
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward(const Tensor& x) override;
+  const Tensor& backward(const Tensor& grad_out) override;
   std::string name() const override { return "sigmoid"; }
 
  private:
-  Tensor last_output_;
+  Tensor out_;  // cached for backward: dsig = y (1 - y)
+  Tensor dx_;
 };
 
 /// Per-row layer normalization with learned gain/bias.
@@ -107,8 +120,8 @@ class LayerNorm : public Layer {
  public:
   explicit LayerNorm(std::size_t features, std::string name = "layernorm");
 
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward(const Tensor& x) override;
+  const Tensor& backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override { return {&gain_, &bias_}; }
   std::string name() const override { return name_; }
 
@@ -119,6 +132,8 @@ class LayerNorm : public Layer {
   Parameter bias_;
   Tensor normalized_;  // (x - mean) / std, cached for backward
   Tensor inv_std_;     // rank-1, one per row
+  Tensor out_;
+  Tensor dx_;
 };
 
 /// Composition of layers applied in order.
@@ -129,8 +144,8 @@ class Sequential : public Layer {
   /// Append a layer; returns *this for chaining.
   Sequential& add(std::unique_ptr<Layer> layer);
 
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward(const Tensor& x) override;
+  const Tensor& backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override;
   std::string name() const override { return "sequential"; }
 
@@ -147,8 +162,9 @@ class Embedding {
   Embedding(std::size_t vocab_size, std::size_t dim, Rng& rng,
             std::string name = "embedding");
 
-  /// Returns an (ids.size() x dim) tensor of rows.
-  Tensor forward(std::span<const std::int32_t> ids);
+  /// Returns an (ids.size() x dim) tensor of rows (internal buffer; valid
+  /// until the next forward).
+  const Tensor& forward(std::span<const std::int32_t> ids);
   /// Accumulates into the weight gradient for the ids of the last forward.
   void backward(const Tensor& grad_out);
 
@@ -160,6 +176,7 @@ class Embedding {
  private:
   Parameter w_;
   std::vector<std::int32_t> last_ids_;
+  Tensor out_;
 };
 
 }  // namespace semcache::nn

@@ -1,5 +1,7 @@
 #include "semantic/codec.hpp"
 
+#include <cstring>
+
 #include "common/check.hpp"
 #include "tensor/ops.hpp"
 
@@ -32,21 +34,43 @@ KbEncoder::KbEncoder(const CodecConfig& config, Rng& rng)
       .add(std::make_unique<nn::Tanh>());
 }
 
+const Tensor& KbEncoder::encode_batch(std::span<const std::int32_t> surface,
+                                      std::size_t count) {
+  SEMCACHE_CHECK(count >= 1, "encode_batch: empty batch");
+  SEMCACHE_CHECK(surface.size() == count * config_.sentence_length,
+                 "encode_batch: expected " + std::to_string(count) + " x " +
+                     std::to_string(config_.sentence_length) +
+                     " tokens, got " + std::to_string(surface.size()));
+  const Tensor& e = embed_.forward(surface);  // (count*L x embed)
+  const Tensor& h = mlp_.forward(e);          // (count*L x k/L)
+  // Rows regroup into per-sentence features: L positions x k/L dims = k.
+  Tensor& f = ws_.acquire(kFeature, {count, config_.feature_dim});
+  std::memcpy(f.data(), h.data(), h.size() * sizeof(float));
+  return f;
+}
+
 Tensor KbEncoder::encode(std::span<const std::int32_t> surface) {
   SEMCACHE_CHECK(surface.size() == config_.sentence_length,
                  "encode: expected exactly " +
                      std::to_string(config_.sentence_length) + " tokens, got " +
                      std::to_string(surface.size()));
-  const Tensor e = embed_.forward(surface);   // (L x embed)
-  Tensor h = mlp_.forward(e);                 // (L x k/L)
-  h.reshape({1, config_.feature_dim});
-  return h;
+  return encode_batch(surface, 1);
+}
+
+void KbEncoder::backward_batch(const Tensor& grad_features) {
+  SEMCACHE_CHECK(grad_features.rank() == 2 &&
+                     grad_features.dim(1) == config_.feature_dim,
+                 "encoder backward: gradient must be (count x k)");
+  Tensor& g = ws_.acquire(
+      kGrad, {grad_features.dim(0) * config_.sentence_length,
+              config_.per_position_dims()});
+  std::memcpy(g.data(), grad_features.data(),
+              grad_features.size() * sizeof(float));
+  embed_.backward(mlp_.backward(g));
 }
 
 void KbEncoder::backward(const Tensor& grad_feature) {
-  Tensor g = grad_feature;
-  g.reshape({config_.sentence_length, config_.per_position_dims()});
-  embed_.backward(mlp_.backward(g));
+  backward_batch(grad_feature);
 }
 
 nn::ParameterSet KbEncoder::parameters() {
@@ -66,23 +90,43 @@ KbDecoder::KbDecoder(const CodecConfig& config, Rng& rng) : config_(config) {
                                         config.meaning_vocab, rng, "dec.l2"));
 }
 
+const Tensor& KbDecoder::decode_logits_batch(const Tensor& features) {
+  SEMCACHE_CHECK(features.rank() == 2 &&
+                     features.dim(1) == config_.feature_dim,
+                 "decode: features must be (count x k)");
+  Tensor& f = ws_.acquire(kRows, {features.dim(0) * config_.sentence_length,
+                                  config_.per_position_dims()});
+  std::memcpy(f.data(), features.data(), features.size() * sizeof(float));
+  return mlp_.forward(f);  // (count*L x meaning_vocab)
+}
+
 Tensor KbDecoder::decode_logits(const Tensor& feature) {
-  SEMCACHE_CHECK(feature.rank() == 2 && feature.dim(0) == 1 &&
-                     feature.dim(1) == config_.feature_dim,
+  SEMCACHE_CHECK(feature.rank() == 2 && feature.dim(0) == 1,
                  "decode: feature must be (1 x k)");
-  Tensor f = feature;
-  f.reshape({config_.sentence_length, config_.per_position_dims()});
-  return mlp_.forward(f);  // (L x meaning_vocab)
+  return decode_logits_batch(feature);
 }
 
 std::vector<std::int32_t> KbDecoder::decode(const Tensor& feature) {
-  return tensor::row_argmax(decode_logits(feature));
+  return tensor::row_argmax(decode_logits_batch(feature));
+}
+
+std::vector<std::int32_t> KbDecoder::decode_batch(const Tensor& features) {
+  return tensor::row_argmax(decode_logits_batch(features));
+}
+
+const Tensor& KbDecoder::backward_batch(const Tensor& grad_logits) {
+  const Tensor& g = mlp_.backward(grad_logits);  // (count*L x k/L)
+  SEMCACHE_CHECK(g.dim(0) % config_.sentence_length == 0,
+                 "decoder backward: row count not a sentence multiple");
+  Tensor& df = ws_.acquire(
+      kDFeature,
+      {g.dim(0) / config_.sentence_length, config_.feature_dim});
+  std::memcpy(df.data(), g.data(), g.size() * sizeof(float));
+  return df;
 }
 
 Tensor KbDecoder::backward(const Tensor& grad_logits) {
-  Tensor g = mlp_.backward(grad_logits);  // (L x k/L)
-  g.reshape({1, config_.feature_dim});
-  return g;
+  return backward_batch(grad_logits);
 }
 
 nn::ParameterSet KbDecoder::parameters() {
@@ -96,32 +140,44 @@ SemanticCodec::SemanticCodec(const CodecConfig& config, Rng& rng)
       encoder_(std::make_unique<KbEncoder>(config, rng)),
       decoder_(std::make_unique<KbDecoder>(config, rng)) {}
 
+double SemanticCodec::forward_loss_batch(std::span<const std::int32_t> surface,
+                                         std::span<const std::int32_t> meanings,
+                                         std::size_t count,
+                                         float feature_noise, Rng* rng) {
+  SEMCACHE_CHECK(meanings.size() == count * config_.sentence_length,
+                 "forward_loss: meaning count mismatch");
+  const Tensor& feature = encoder_->encode_batch(surface, count);
+  const Tensor* input = &feature;
+  if (feature_noise > 0.0f) {
+    SEMCACHE_CHECK(rng != nullptr, "forward_loss: noise requires an rng");
+    Tensor& noisy = ws_.acquire(kNoisy, feature.shape());
+    const float* pf = feature.data();
+    float* pn = noisy.data();
+    for (std::size_t i = 0; i < noisy.size(); ++i) {
+      pn[i] = pf[i] +
+              static_cast<float>(rng->uniform(-feature_noise, feature_noise));
+    }
+    input = &noisy;
+  }
+  const Tensor& logits = decoder_->decode_logits_batch(*input);
+  return loss_.forward(logits, meanings);
+}
+
 double SemanticCodec::forward_loss(std::span<const std::int32_t> surface,
                                    std::span<const std::int32_t> meanings,
                                    float feature_noise, Rng* rng) {
-  SEMCACHE_CHECK(meanings.size() == config_.sentence_length,
-                 "forward_loss: meaning count mismatch");
-  Tensor feature = encoder_->encode(surface);
-  if (feature_noise > 0.0f) {
-    SEMCACHE_CHECK(rng != nullptr, "forward_loss: noise requires an rng");
-    float* pf = feature.data();
-    for (std::size_t i = 0; i < feature.size(); ++i) {
-      pf[i] += static_cast<float>(rng->uniform(-feature_noise, feature_noise));
-    }
-  }
-  const Tensor logits = decoder_->decode_logits(feature);
-  return loss_.forward(logits, meanings);
+  return forward_loss_batch(surface, meanings, 1, feature_noise, rng);
 }
 
 void SemanticCodec::backward() {
   const Tensor dlogits = loss_.backward();
-  const Tensor dfeature = decoder_->backward(dlogits);
-  encoder_->backward(dfeature);
+  encoder_->backward_batch(decoder_->backward_batch(dlogits));
 }
 
 std::vector<std::int32_t> SemanticCodec::reconstruct(
     std::span<const std::int32_t> surface) {
-  return decoder_->decode(encoder_->encode(surface));
+  return decoder_->decode_batch(encoder_->encode_batch(
+      surface, surface.size() / config_.sentence_length));
 }
 
 nn::ParameterSet SemanticCodec::parameters() {

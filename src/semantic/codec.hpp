@@ -16,6 +16,12 @@
 // The feature dimension k is the semantic bottleneck: it is what gets
 // quantized and transmitted, replacing the raw text bits of traditional
 // communication.
+//
+// Because positions are batch rows, a batch of N sentences is just N*L rows
+// through the same MLPs: the *_batch entry points stack whole buffers of
+// sentences into one kernel invocation per layer, which is where the serving
+// and fine-tuning throughput comes from. The single-sentence calls are the
+// N == 1 special case of the batch path.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +33,7 @@
 #include "nn/layers.hpp"
 #include "nn/loss.hpp"
 #include "nn/model.hpp"
+#include "tensor/workspace.hpp"
 
 namespace semcache::semantic {
 
@@ -56,16 +63,28 @@ class KbEncoder {
   /// surface.size() must equal config.sentence_length; returns (1 x k)
   /// features bounded to (-1, 1) by the final tanh.
   Tensor encode(std::span<const std::int32_t> surface);
+  /// Batched encode: `surface` holds `count` sentences of L tokens each,
+  /// concatenated. Returns (count x k) features in an internal buffer
+  /// (valid until the next encode); one kernel pass per layer for the
+  /// whole batch.
+  const Tensor& encode_batch(std::span<const std::int32_t> surface,
+                             std::size_t count);
   /// Accumulate gradients given dL/dfeature (1 x k).
   void backward(const Tensor& grad_feature);
+  /// Accumulate gradients given dL/dfeatures (count x k) from the last
+  /// encode_batch.
+  void backward_batch(const Tensor& grad_features);
 
   nn::ParameterSet parameters();
   const CodecConfig& config() const { return config_; }
 
  private:
+  enum Slot : std::size_t { kFeature, kGrad };
+
   CodecConfig config_;
   nn::Embedding embed_;
   nn::Sequential mlp_;
+  tensor::Workspace ws_;
 };
 
 /// Semantic feature restorer (the KB-decoder; replicated as the sender-side
@@ -76,17 +95,28 @@ class KbDecoder {
 
   /// feature: (1 x k). Returns (L x meaning_vocab) logits.
   Tensor decode_logits(const Tensor& feature);
+  /// Batched logits: features (count x k) -> (count*L x meaning_vocab) in
+  /// an internal buffer (valid until the next decode).
+  const Tensor& decode_logits_batch(const Tensor& features);
   /// Greedy decode to meaning ids.
   std::vector<std::int32_t> decode(const Tensor& feature);
+  /// Greedy decode of a (count x k) feature batch to count*L meaning ids.
+  std::vector<std::int32_t> decode_batch(const Tensor& features);
   /// Accumulate gradients given dL/dlogits (L x V); returns dL/dfeature.
   Tensor backward(const Tensor& grad_logits);
+  /// Batched backward: dL/dlogits (count*L x V) -> dL/dfeatures
+  /// (count x k) in an internal buffer.
+  const Tensor& backward_batch(const Tensor& grad_logits);
 
   nn::ParameterSet parameters();
   const CodecConfig& config() const { return config_; }
 
  private:
+  enum Slot : std::size_t { kRows, kDFeature };
+
   CodecConfig config_;
   nn::Sequential mlp_;
+  tensor::Workspace ws_;
 };
 
 /// An encoder/decoder pair trained jointly — a complete KB model.
@@ -108,7 +138,14 @@ class SemanticCodec {
   double forward_loss(std::span<const std::int32_t> surface,
                       std::span<const std::int32_t> meanings,
                       float feature_noise = 0.0f, Rng* rng = nullptr);
-  /// Backward through decoder and encoder; call after forward_loss.
+  /// Batched joint forward over `count` sentences (surface and meanings
+  /// hold count*L concatenated ids). Returns mean cross-entropy over all
+  /// count*L positions; one kernel pass per layer for the whole batch.
+  double forward_loss_batch(std::span<const std::int32_t> surface,
+                            std::span<const std::int32_t> meanings,
+                            std::size_t count, float feature_noise = 0.0f,
+                            Rng* rng = nullptr);
+  /// Backward through decoder and encoder; call after forward_loss[_batch].
   void backward();
 
   /// End-to-end greedy reconstruction (clean features, no channel).
@@ -123,10 +160,13 @@ class SemanticCodec {
   std::size_t byte_size() const;
 
  private:
+  enum Slot : std::size_t { kNoisy };
+
   CodecConfig config_;
   std::unique_ptr<KbEncoder> encoder_;
   std::unique_ptr<KbDecoder> decoder_;
   nn::SoftmaxCrossEntropy loss_;
+  tensor::Workspace ws_;
 };
 
 }  // namespace semcache::semantic

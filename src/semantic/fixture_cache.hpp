@@ -1,0 +1,60 @@
+// On-disk cache of pretrained codec fixtures.
+//
+// The tier-2 test suites spend nearly all of their wall-clock pretraining
+// small codecs from identical configurations, over and over, across suites
+// and across runs. This cache serializes the outcome of a pretraining run
+// — final weights, training stats, and the trainer RNG's post-run state —
+// keyed by a hash of everything that determines it: codec config and
+// initial weights, train config, a content fingerprint of the language
+// world, and the RNG state at call time. A hit is therefore bit-identical
+// to having trained: downstream code (including later draws from the same
+// RNG) cannot tell the difference.
+//
+// Opt-in via the SEMCACHE_FIXTURE_DIR environment variable (the cache
+// directory); unset/empty disables it entirely, so library behaviour is
+// pure by default. CMake points the tier-2 ctest targets at
+// <build>/fixture-cache.
+//
+// Concurrency: writers dump to a unique temp file and rename into place
+// (atomic on POSIX), so parallel ctest processes can share the directory;
+// readers only ever see complete files. A corrupt or mismatched file is
+// treated as a miss and overwritten.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "semantic/codec.hpp"
+#include "semantic/trainer.hpp"
+#include "text/corpus.hpp"
+
+namespace semcache::semantic {
+
+class FixtureCache {
+ public:
+  /// True when SEMCACHE_FIXTURE_DIR names a cache directory.
+  static bool enabled();
+
+  /// Cache key over every training input. `mode_tag` separates
+  /// pretrain_domain(d) from pretrain_pooled on otherwise equal inputs.
+  static std::uint64_t key(SemanticCodec& codec, const text::World& world,
+                           const TrainConfig& config, const Rng& rng,
+                           std::uint64_t mode_tag);
+
+  /// On a hit: restores the trained weights into `codec`, fast-forwards
+  /// `rng` to its post-training state, and returns the recorded stats.
+  static std::optional<TrainStats> try_load(std::uint64_t key,
+                                            SemanticCodec& codec, Rng& rng);
+
+  /// Records a finished pretraining run under `key`. Failures (read-only
+  /// dir, races) are silently ignored — the cache is an accelerator, never
+  /// a correctness dependency.
+  static void store(std::uint64_t key, SemanticCodec& codec, const Rng& rng,
+                    const TrainStats& stats);
+
+ private:
+  static std::string path_for(std::uint64_t key);
+};
+
+}  // namespace semcache::semantic

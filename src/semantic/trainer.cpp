@@ -1,6 +1,9 @@
 #include "semantic/trainer.hpp"
 
+#include <algorithm>
+
 #include "nn/optimizer.hpp"
+#include "semantic/fixture_cache.hpp"
 
 namespace semcache::semantic {
 
@@ -37,38 +40,69 @@ TrainStats CodecTrainer::pretrain_domain(SemanticCodec& codec,
                                          const text::World& world,
                                          std::size_t domain,
                                          const TrainConfig& config, Rng& rng) {
-  return run_steps(codec, config, [&] {
+  std::uint64_t key = 0;
+  if (FixtureCache::enabled()) {
+    key = FixtureCache::key(codec, world, config, rng, 0xD0000000ULL + domain);
+    if (auto stats = FixtureCache::try_load(key, codec, rng)) return *stats;
+  }
+  const TrainStats stats = run_steps(codec, config, [&] {
     return draw_sample(world, domain, nullptr, rng);
   }, rng);
+  if (FixtureCache::enabled()) FixtureCache::store(key, codec, rng, stats);
+  return stats;
 }
 
 TrainStats CodecTrainer::pretrain_pooled(SemanticCodec& codec,
                                          const text::World& world,
                                          const TrainConfig& config, Rng& rng) {
-  return run_steps(codec, config, [&] {
+  std::uint64_t key = 0;
+  if (FixtureCache::enabled()) {
+    key = FixtureCache::key(codec, world, config, rng, 0xB00000000ULL);
+    if (auto stats = FixtureCache::try_load(key, codec, rng)) return *stats;
+  }
+  const TrainStats stats = run_steps(codec, config, [&] {
     const auto domain = static_cast<std::size_t>(rng.uniform_int(
         0, static_cast<std::int64_t>(world.num_domains()) - 1));
     return draw_sample(world, domain, nullptr, rng);
   }, rng);
+  if (FixtureCache::enabled()) FixtureCache::store(key, codec, rng, stats);
+  return stats;
 }
 
 TrainStats CodecTrainer::finetune(SemanticCodec& codec,
                                   std::span<const Sample> samples,
                                   std::size_t epochs, double lr, Rng& rng,
-                                  double feature_noise) {
+                                  double feature_noise,
+                                  std::size_t batch_size) {
   SEMCACHE_CHECK(!samples.empty(), "finetune: no samples");
+  SEMCACHE_CHECK(batch_size >= 1, "finetune: batch_size must be >= 1");
   nn::Adam opt(lr);
   nn::ParameterSet params = codec.parameters();
   TrainStats stats;
+  const std::size_t sentence_length = codec.config().sentence_length;
   std::vector<std::size_t> order(samples.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  // Flat id buffers reused across steps (allocation-free after warm-up).
+  std::vector<std::int32_t> surface;
+  std::vector<std::int32_t> meanings;
   for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
     rng.shuffle(order);
-    for (const std::size_t idx : order) {
-      const Sample& s = samples[idx];
+    for (std::size_t pos = 0; pos < order.size(); pos += batch_size) {
+      const std::size_t count =
+          std::min(batch_size, order.size() - pos);
+      surface.clear();
+      meanings.clear();
+      for (std::size_t b = 0; b < count; ++b) {
+        const Sample& s = samples[order[pos + b]];
+        SEMCACHE_CHECK(s.surface.size() == sentence_length &&
+                           s.meanings.size() == sentence_length,
+                       "finetune: sample length mismatch");
+        surface.insert(surface.end(), s.surface.begin(), s.surface.end());
+        meanings.insert(meanings.end(), s.meanings.begin(), s.meanings.end());
+      }
       nn::Optimizer::zero_grad(params.params());
-      const double loss = codec.forward_loss(
-          s.surface, s.meanings, static_cast<float>(feature_noise), &rng);
+      const double loss = codec.forward_loss_batch(
+          surface, meanings, count, static_cast<float>(feature_noise), &rng);
       codec.backward();
       nn::Optimizer::clip_grad_norm(params.params(), 5.0);
       opt.step(params.params());

@@ -48,10 +48,16 @@ class CodecTrainer {
                                     const TrainConfig& config, Rng& rng);
 
   /// Epoch-based fine-tuning on a fixed set of samples (the user buffer).
+  ///
+  /// `batch_size` > 1 stacks that many shuffled samples per optimizer step
+  /// through the codec's *_batch entry points (one kernel pass per layer
+  /// for the whole minibatch; the gradient is the mean over the batch).
+  /// The default of 1 preserves the per-sample update sequence exactly.
   static TrainStats finetune(SemanticCodec& codec,
                              std::span<const Sample> samples,
                              std::size_t epochs, double lr, Rng& rng,
-                             double feature_noise = 0.0);
+                             double feature_noise = 0.0,
+                             std::size_t batch_size = 1);
 
   /// Draw a sample: sentence from `domain`, idiolect applied if non-null.
   static Sample draw_sample(const text::World& world, std::size_t domain,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/check.hpp"
 
@@ -12,6 +13,127 @@ void require_same_shape(const Tensor& a, const Tensor& b, const char* op) {
   SEMCACHE_CHECK(a.same_shape(b), std::string(op) + ": shape mismatch " +
                                       a.shape_string() + " vs " +
                                       b.shape_string());
+}
+
+void require_matmul_shapes(const Tensor& a, const Tensor& b, const char* op) {
+  SEMCACHE_CHECK(a.rank() == 2 && b.rank() == 2,
+                 std::string(op) + ": rank-2 required");
+  SEMCACHE_CHECK(a.dim(1) == b.dim(0),
+                 std::string(op) + ": inner dims differ, " + a.shape_string() +
+                     " * " + b.shape_string());
+}
+
+void require_no_alias(const Tensor& c, const Tensor& a, const Tensor& b,
+                      const char* op) {
+  SEMCACHE_CHECK(c.data() != a.data() && c.data() != b.data(),
+                 std::string(op) + ": output must not alias an input");
+}
+
+// Register-tiled ikj matmul micro-kernel: c (m x n) += a (m x k) * b (k x n).
+//
+// Four C rows are carried per pass, so every streamed B row is reused four
+// times from registers (4x the arithmetic intensity of the naive ikj loop);
+// the contiguous j-loop auto-vectorizes. Per C-element the summation is
+// still a_i0*b_0j + a_i1*b_1j + ... in ascending k order — exactly the
+// reference order — so results are bit-identical to matmul_reference.
+constexpr std::size_t kRowTile = 4;
+
+void gemm_nn(std::size_t m, std::size_t k, std::size_t n,
+             const float* __restrict a, const float* __restrict b,
+             float* __restrict c) {
+  std::size_t i = 0;
+  for (; i + kRowTile <= m; i += kRowTile) {
+    float* __restrict c0 = c + (i + 0) * n;
+    float* __restrict c1 = c + (i + 1) * n;
+    float* __restrict c2 = c + (i + 2) * n;
+    float* __restrict c3 = c + (i + 3) * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float a0 = a[(i + 0) * k + kk];
+      const float a1 = a[(i + 1) * k + kk];
+      const float a2 = a[(i + 2) * k + kk];
+      const float a3 = a[(i + 3) * k + kk];
+      const float* __restrict brow = b + kk * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float bv = brow[j];
+        c0[j] += a0 * bv;
+        c1[j] += a1 * bv;
+        c2[j] += a2 * bv;
+        c3[j] += a3 * bv;
+      }
+    }
+  }
+  for (; i < m; ++i) {
+    float* __restrict crow = c + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = a[i * k + kk];
+      const float* __restrict brow = b + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// Transposed-A variant: c (m x n) += aᵀ * b with a stored (k x m). Same
+// tiling as gemm_nn; A is read down a column (stride m), which is the
+// natural layout for dW = xᵀ·dy without materializing the transpose.
+void gemm_tn(std::size_t m, std::size_t k, std::size_t n,
+             const float* __restrict a, const float* __restrict b,
+             float* __restrict c) {
+  std::size_t i = 0;
+  for (; i + kRowTile <= m; i += kRowTile) {
+    float* __restrict c0 = c + (i + 0) * n;
+    float* __restrict c1 = c + (i + 1) * n;
+    float* __restrict c2 = c + (i + 2) * n;
+    float* __restrict c3 = c + (i + 3) * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float* __restrict acol = a + kk * m + i;
+      const float a0 = acol[0];
+      const float a1 = acol[1];
+      const float a2 = acol[2];
+      const float a3 = acol[3];
+      const float* __restrict brow = b + kk * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float bv = brow[j];
+        c0[j] += a0 * bv;
+        c1[j] += a1 * bv;
+        c2[j] += a2 * bv;
+        c3[j] += a3 * bv;
+      }
+    }
+  }
+  for (; i < m; ++i) {
+    float* __restrict crow = c + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = a[kk * m + i];
+      const float* __restrict brow = b + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// Transposed-B products run through gemm_nn on a thread-local transposed
+// copy of B. The scratch is reused across calls (no steady-state
+// allocation), and going through gemm_nn keeps the summation order — and
+// therefore bit-exactness vs. matmul(a, transpose(b)) — intact, while the
+// inner loop stays contiguous/vectorizable instead of a strided dot.
+const float* transpose_scratch(const Tensor& b) {
+  static thread_local std::vector<float> scratch;
+  const std::size_t rows = b.dim(0);
+  const std::size_t cols = b.dim(1);
+  if (scratch.size() < b.size()) scratch.resize(b.size());
+  const float* __restrict pb = b.data();
+  float* __restrict ps = scratch.data();
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) ps[j * rows + i] = pb[i * cols + j];
+  }
+  return ps;
+}
+
+void bias_epilogue(std::size_t m, std::size_t n, const float* __restrict bias,
+                   float* __restrict c) {
+  for (std::size_t i = 0; i < m; ++i) {
+    float* __restrict crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) crow[j] += bias[j];
+  }
 }
 }  // namespace
 
@@ -66,10 +188,14 @@ Tensor& axpy_inplace(Tensor& a, const Tensor& b, float s) {
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
-  SEMCACHE_CHECK(a.rank() == 2 && b.rank() == 2, "matmul: rank-2 required");
-  SEMCACHE_CHECK(a.dim(1) == b.dim(0),
-                 "matmul: inner dims differ, " + a.shape_string() + " * " +
-                     b.shape_string());
+  require_matmul_shapes(a, b, "matmul");
+  Tensor c({a.dim(0), b.dim(1)});  // zero-filled
+  gemm_nn(a.dim(0), a.dim(1), b.dim(1), a.data(), b.data(), c.data());
+  return c;
+}
+
+Tensor matmul_reference(const Tensor& a, const Tensor& b) {
+  require_matmul_shapes(a, b, "matmul_reference");
   const std::size_t m = a.dim(0);
   const std::size_t k = a.dim(1);
   const std::size_t n = b.dim(1);
@@ -77,11 +203,13 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  // ikj loop order: streams through b and c rows, cache-friendly.
+  // ikj loop order: streams through b and c rows, cache-friendly. No
+  // zero-skip anywhere in the matmul family: every path accumulates every
+  // a*b product, so the fast kernels agree with this oracle bit-for-bit
+  // even on non-finite inputs (a skipped 0 * Inf would hide a NaN).
   for (std::size_t i = 0; i < m; ++i) {
     for (std::size_t kk = 0; kk < k; ++kk) {
       const float av = pa[i * k + kk];
-      if (av == 0.0f) continue;
       const float* brow = pb + kk * n;
       float* crow = pc + i * n;
       for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
@@ -90,27 +218,101 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   return c;
 }
 
+void matmul_into(Tensor& c, const Tensor& a, const Tensor& b) {
+  require_matmul_shapes(a, b, "matmul_into");
+  require_no_alias(c, a, b, "matmul_into");
+  c.resize({a.dim(0), b.dim(1)});
+  std::memset(c.data(), 0, c.size() * sizeof(float));
+  gemm_nn(a.dim(0), a.dim(1), b.dim(1), a.data(), b.data(), c.data());
+}
+
+void matmul_acc(Tensor& c, const Tensor& a, const Tensor& b) {
+  require_matmul_shapes(a, b, "matmul_acc");
+  require_no_alias(c, a, b, "matmul_acc");
+  SEMCACHE_CHECK(c.rank() == 2 && c.dim(0) == a.dim(0) && c.dim(1) == b.dim(1),
+                 "matmul_acc: accumulator shape mismatch");
+  gemm_nn(a.dim(0), a.dim(1), b.dim(1), a.data(), b.data(), c.data());
+}
+
+void matmul_tn_into(Tensor& c, const Tensor& a, const Tensor& b) {
+  SEMCACHE_CHECK(a.rank() == 2 && b.rank() == 2 && a.dim(0) == b.dim(0),
+                 "matmul_tn_into: aᵀb requires matching row counts");
+  require_no_alias(c, a, b, "matmul_tn_into");
+  c.resize({a.dim(1), b.dim(1)});
+  std::memset(c.data(), 0, c.size() * sizeof(float));
+  gemm_tn(a.dim(1), a.dim(0), b.dim(1), a.data(), b.data(), c.data());
+}
+
+void matmul_tn_acc(Tensor& c, const Tensor& a, const Tensor& b) {
+  SEMCACHE_CHECK(a.rank() == 2 && b.rank() == 2 && a.dim(0) == b.dim(0),
+                 "matmul_tn_acc: aᵀb requires matching row counts");
+  require_no_alias(c, a, b, "matmul_tn_acc");
+  SEMCACHE_CHECK(c.rank() == 2 && c.dim(0) == a.dim(1) && c.dim(1) == b.dim(1),
+                 "matmul_tn_acc: accumulator shape mismatch");
+  gemm_tn(a.dim(1), a.dim(0), b.dim(1), a.data(), b.data(), c.data());
+}
+
+void matmul_nt_into(Tensor& c, const Tensor& a, const Tensor& b) {
+  SEMCACHE_CHECK(a.rank() == 2 && b.rank() == 2 && a.dim(1) == b.dim(1),
+                 "matmul_nt_into: abᵀ requires matching column counts");
+  require_no_alias(c, a, b, "matmul_nt_into");
+  c.resize({a.dim(0), b.dim(0)});
+  std::memset(c.data(), 0, c.size() * sizeof(float));
+  gemm_nn(a.dim(0), a.dim(1), b.dim(0), a.data(), transpose_scratch(b),
+          c.data());
+}
+
+void matmul_nt_acc(Tensor& c, const Tensor& a, const Tensor& b) {
+  SEMCACHE_CHECK(a.rank() == 2 && b.rank() == 2 && a.dim(1) == b.dim(1),
+                 "matmul_nt_acc: abᵀ requires matching column counts");
+  require_no_alias(c, a, b, "matmul_nt_acc");
+  SEMCACHE_CHECK(c.rank() == 2 && c.dim(0) == a.dim(0) && c.dim(1) == b.dim(0),
+                 "matmul_nt_acc: accumulator shape mismatch");
+  gemm_nn(a.dim(0), a.dim(1), b.dim(0), a.data(), transpose_scratch(b),
+          c.data());
+}
+
+void affine_into(Tensor& y, const Tensor& x, const Tensor& w,
+                 const Tensor& bias) {
+  SEMCACHE_CHECK(bias.rank() == 1, "affine_into: bias must be rank-1");
+  SEMCACHE_CHECK(w.rank() == 2 && bias.dim(0) == w.dim(1),
+                 "affine_into: bias length must equal W cols");
+  require_matmul_shapes(x, w, "affine_into");
+  require_no_alias(y, x, w, "affine_into");
+  SEMCACHE_CHECK(y.data() != bias.data(),
+                 "affine_into: output must not alias bias");
+  y.resize({x.dim(0), w.dim(1)});
+  std::memset(y.data(), 0, y.size() * sizeof(float));
+  gemm_nn(x.dim(0), x.dim(1), w.dim(1), x.data(), w.data(), y.data());
+  // Bias rides in the epilogue while y is still cache-hot (and without the
+  // per-element bounds checks the old at(i,j) second pass paid).
+  bias_epilogue(y.dim(0), y.dim(1), bias.data(), y.data());
+}
+
 Tensor transpose(const Tensor& a) {
   SEMCACHE_CHECK(a.rank() == 2, "transpose: rank-2 required");
-  const std::size_t m = a.dim(0);
-  const std::size_t n = a.dim(1);
-  Tensor t({n, m});
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < n; ++j) t.at(j, i) = a.at(i, j);
-  }
+  Tensor t({a.dim(1), a.dim(0)});
+  transpose_into(t, a);
   return t;
 }
 
-Tensor affine(const Tensor& x, const Tensor& w, const Tensor& bias) {
-  SEMCACHE_CHECK(bias.rank() == 1, "affine: bias must be rank-1");
-  SEMCACHE_CHECK(w.rank() == 2 && bias.dim(0) == w.dim(1),
-                 "affine: bias length must equal W cols");
-  Tensor y = matmul(x, w);
-  const std::size_t m = y.dim(0);
-  const std::size_t n = y.dim(1);
+void transpose_into(Tensor& t, const Tensor& a) {
+  SEMCACHE_CHECK(a.rank() == 2, "transpose_into: rank-2 required");
+  SEMCACHE_CHECK(t.data() != a.data(),
+                 "transpose_into: output must not alias input");
+  const std::size_t m = a.dim(0);
+  const std::size_t n = a.dim(1);
+  t.resize({n, m});
+  const float* __restrict pa = a.data();
+  float* __restrict pt = t.data();
   for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < n; ++j) y.at(i, j) += bias.at(j);
+    for (std::size_t j = 0; j < n; ++j) pt[j * m + i] = pa[i * n + j];
   }
+}
+
+Tensor affine(const Tensor& x, const Tensor& w, const Tensor& bias) {
+  Tensor y;
+  affine_into(y, x, w, bias);
   return y;
 }
 
@@ -179,10 +381,22 @@ float l2_norm(const Tensor& a) { return std::sqrt(dot(a, a)); }
 Tensor column_sums(const Tensor& a) {
   SEMCACHE_CHECK(a.rank() == 2, "column_sums: rank-2 required");
   Tensor out({a.dim(1)});
-  for (std::size_t i = 0; i < a.dim(0); ++i) {
-    for (std::size_t j = 0; j < a.dim(1); ++j) out.at(j) += a.at(i, j);
-  }
+  column_sums_acc(out, a);
   return out;
+}
+
+void column_sums_acc(Tensor& out, const Tensor& a) {
+  SEMCACHE_CHECK(a.rank() == 2, "column_sums_acc: rank-2 required");
+  SEMCACHE_CHECK(out.rank() == 1 && out.dim(0) == a.dim(1),
+                 "column_sums_acc: accumulator must be rank-1 of length cols");
+  const std::size_t m = a.dim(0);
+  const std::size_t n = a.dim(1);
+  const float* __restrict pa = a.data();
+  float* __restrict po = out.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* __restrict arow = pa + i * n;
+    for (std::size_t j = 0; j < n; ++j) po[j] += arow[j];
+  }
 }
 
 }  // namespace semcache::tensor

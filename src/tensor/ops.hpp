@@ -1,6 +1,11 @@
-// Free-function tensor operations. All functions validate shapes and return
-// fresh tensors (value semantics); in-place accumulation variants exist for
-// the hot gradient paths.
+// Free-function tensor operations. All value-returning functions validate
+// shapes and return fresh tensors; the `_into` / `_acc` variants write into a
+// caller-provided output tensor (resized in place, capacity reused) so hot
+// loops run allocation-free after warm-up.
+//
+// The matmul family shares one register-tiled kernel (see ops.cpp). Per
+// C-element summation order is identical to the naive reference, so the fast
+// kernels are bit-exact against matmul_reference — tests rely on this.
 #pragma once
 
 #include <cstdint>
@@ -26,10 +31,35 @@ Tensor& axpy_inplace(Tensor& a, const Tensor& b, float s);
 
 /// Matrix product of rank-2 tensors: (m x k) * (k x n) -> (m x n).
 Tensor matmul(const Tensor& a, const Tensor& b);
+/// Naive triple-loop matmul kept as the bit-exact oracle for kernel tests.
+Tensor matmul_reference(const Tensor& a, const Tensor& b);
 /// Transpose of a rank-2 tensor.
 Tensor transpose(const Tensor& a);
 /// y = x * W + broadcast(bias): x (m x k), w (k x n), bias rank-1 (n).
 Tensor affine(const Tensor& x, const Tensor& w, const Tensor& bias);
+
+// --- out-parameter kernels (blocked/register-tiled; see ops.cpp) ---------
+// The output must not alias either input. `_into` overwrites the output
+// (resizing it, reusing capacity); `_acc` accumulates into it and requires
+// the exact result shape.
+
+/// c = a * b.
+void matmul_into(Tensor& c, const Tensor& a, const Tensor& b);
+/// c += a * b.
+void matmul_acc(Tensor& c, const Tensor& a, const Tensor& b);
+/// c = aᵀ * b for a (k x m), b (k x n): the dW = xᵀ·dy shape.
+void matmul_tn_into(Tensor& c, const Tensor& a, const Tensor& b);
+/// c += aᵀ * b (gradient accumulation without materializing xᵀ).
+void matmul_tn_acc(Tensor& c, const Tensor& a, const Tensor& b);
+/// c = a * bᵀ for a (m x k), b (n x k): the dx = dy·Wᵀ shape.
+void matmul_nt_into(Tensor& c, const Tensor& a, const Tensor& b);
+/// c += a * bᵀ.
+void matmul_nt_acc(Tensor& c, const Tensor& a, const Tensor& b);
+/// y = x * W + broadcast(bias), bias added in the kernel epilogue.
+void affine_into(Tensor& y, const Tensor& x, const Tensor& w,
+                 const Tensor& bias);
+/// t = aᵀ.
+void transpose_into(Tensor& t, const Tensor& a);
 
 /// Row-wise softmax of a rank-2 tensor (numerically stabilized).
 Tensor row_softmax(const Tensor& logits);
@@ -50,5 +80,7 @@ float l2_norm(const Tensor& a);
 
 /// Sum rows of a rank-2 tensor into a rank-1 tensor of length cols.
 Tensor column_sums(const Tensor& a);
+/// out += column sums of a (out must be rank-1 of length a.dim(1)).
+void column_sums_acc(Tensor& out, const Tensor& a);
 
 }  // namespace semcache::tensor

@@ -101,6 +101,13 @@ void Tensor::reshape(std::vector<std::size_t> shape) {
   shape_ = std::move(shape);
 }
 
+void Tensor::resize(std::vector<std::size_t> shape) {
+  SEMCACHE_CHECK(!shape.empty(), "Tensor::resize: shape must be non-empty");
+  const std::size_t v = volume(shape);
+  if (data_.size() != v) data_.resize(v);
+  shape_ = std::move(shape);
+}
+
 void Tensor::fill(float value) {
   std::fill(data_.begin(), data_.end(), value);
 }

@@ -52,6 +52,14 @@ class Tensor {
 
   /// Reshape in place; volume must be preserved.
   void reshape(std::vector<std::size_t> shape);
+  /// Destructive reshape to an arbitrary shape: storage is resized, existing
+  /// capacity is reused (no reallocation when the new volume fits), and the
+  /// contents are unspecified. The workhorse of the Workspace / `_into`
+  /// kernel API, where outputs are fully overwritten anyway.
+  void resize(std::vector<std::size_t> shape);
+  /// Allocated storage in floats (>= size()); lets tests assert that the
+  /// `_into` kernels never reallocate a warmed-up output tensor.
+  std::size_t capacity() const { return data_.capacity(); }
   void fill(float value);
   /// Set every element to zero (used for gradient reset between steps).
   void zero() { fill(0.0f); }
