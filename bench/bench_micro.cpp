@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "cache/cache.hpp"
+#include "core/system.hpp"
 #include "channel/convolutional.hpp"
 #include "channel/modulation.hpp"
 #include "compress/huffman.hpp"
@@ -177,6 +178,62 @@ static void BM_SelectorForward(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4);
 }
 BENCHMARK(BM_SelectorForward);
+
+// End-to-end batched data plane: transmit_many of N cross-edge messages
+// (encode/quantize/channel/decode plus the timing-plane event chains,
+// drained per batch). items/s counts messages, so per-message amortization
+// vs. Arg(1) — the transmit_async path — is directly readable. The
+// fine-tune trigger is set above the batch size and the buffer cleared
+// between iterations, so this measures the pure serving path.
+static void BM_TransmitBatch(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  static core::SemanticEdgeSystem* system = [] {
+    core::SystemConfig config;
+    config.seed = 91;
+    config.world.num_domains = 2;
+    config.world.sentence_length = 8;
+    config.codec.embed_dim = 20;
+    config.codec.feature_dim = 16;
+    config.codec.hidden_dim = 48;
+    config.pretrain.steps = 200;  // throughput bench: accuracy irrelevant
+    config.oracle_selection = true;
+    config.buffer_trigger = 64;  // > max batch: no fine-tune in the loop
+    config.buffer_capacity = 64;
+    auto built = core::SemanticEdgeSystem::build(config);
+    built->register_user("s", 0, nullptr);
+    built->register_user("r", 1, nullptr);
+    return built.release();
+  }();
+  static const std::vector<text::Sentence>* pool = [] {
+    auto* msgs = new std::vector<text::Sentence>;
+    for (int i = 0; i < 32; ++i) {
+      msgs->push_back(system->sample_message("s", 0));
+    }
+    return msgs;
+  }();
+
+  // Warm the (s, domain 0) slot so find_slot below never sees null.
+  system->transmit_many("s", "r", {pool->front()},
+                        [](std::size_t, core::TransmitReport) {});
+  system->simulator().run();
+  auto* buffer =
+      system->edge_state(0).find_slot("s", 0)->buffer.get();
+  buffer->clear();
+
+  for (auto _ : state) {
+    std::vector<text::Sentence> batch(pool->begin(),
+                                      pool->begin() + static_cast<std::ptrdiff_t>(count));
+    system->transmit_many("s", "r", std::move(batch),
+                          [](std::size_t, core::TransmitReport) {});
+    system->simulator().run();
+    state.PauseTiming();
+    buffer->clear();  // keep the transaction ring from growing unboundedly
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_TransmitBatch)->Arg(1)->Arg(8)->Arg(32);
 
 static void BM_ViterbiDecode(benchmark::State& state) {
   const auto bits = static_cast<std::size_t>(state.range(0));

@@ -18,6 +18,26 @@ ChannelPipeline::ChannelPipeline(std::unique_ptr<ChannelCode> code,
 }
 
 BitVec ChannelPipeline::transmit(const BitVec& payload, Rng& rng) {
+  return transmit_one(payload, rng);
+}
+
+std::vector<BitVec> ChannelPipeline::transmit_batch(
+    const std::vector<BitVec>& payloads, std::span<Rng> rngs) {
+  SEMCACHE_CHECK(payloads.size() == rngs.size(),
+                 "pipeline: transmit_batch needs one rng per payload (" +
+                     std::to_string(payloads.size()) + " payloads, " +
+                     std::to_string(rngs.size()) + " rngs)");
+  std::vector<BitVec> received;
+  received.reserve(payloads.size());
+  // Per-message noise streams stay independent: message i consumes only
+  // rngs[i], so stats and bits match N sequential transmit() calls exactly.
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    received.push_back(transmit_one(payloads[i], rngs[i]));
+  }
+  return received;
+}
+
+BitVec ChannelPipeline::transmit_one(const BitVec& payload, Rng& rng) {
   const BitVec coded = code_->encode(payload);
   const BitVec sent = interleaver_.interleave(coded);
   const BitVec received = channel_->transmit(sent, rng);

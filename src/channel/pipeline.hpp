@@ -5,6 +5,8 @@
 #pragma once
 
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "channel/code.hpp"
 #include "channel/interleaver.hpp"
@@ -28,12 +30,24 @@ class ChannelPipeline {
   /// to the payload length.
   BitVec transmit(const BitVec& payload, Rng& rng);
 
+  /// Batched transmit: payload i rides the channel with its own RNG stream
+  /// `rngs[i]`, so result i is bit-identical to `transmit(payloads[i],
+  /// rngs[i])` and the caller's per-message fork discipline is preserved.
+  /// Stats account per message: `messages` grows by payloads.size() and the
+  /// payload/airtime bit sums equal N sequential transmits.
+  std::vector<BitVec> transmit_batch(const std::vector<BitVec>& payloads,
+                                     std::span<Rng> rngs);
+
   const PipelineStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
   const ChannelCode& code() const { return *code_; }
   std::string description() const;
 
  private:
+  /// One payload through code/interleave/channel/deinterleave/decode; the
+  /// shared body of transmit() and transmit_batch().
+  BitVec transmit_one(const BitVec& payload, Rng& rng);
+
   std::unique_ptr<ChannelCode> code_;
   std::unique_ptr<BitChannel> channel_;
   BlockInterleaver interleaver_;

@@ -62,6 +62,16 @@ struct SystemConfig {
   /// the sender (bytes + latency charged on the backbone).
   bool decoder_copy_enabled = true;
 
+  /// Serving-path shortcut enabled by the §II-C replica design: when the
+  /// payload survived the channel bit-intact AND the sender's decoder copy
+  /// is at the same sync version as the receiver replica (so their weights
+  /// are byte-identical by the sync protocol's invariant), the receiver's
+  /// logits ARE the decoder-copy logits — the mismatch (③) is computed
+  /// from them directly, skipping a full decoder forward per message.
+  /// Results are bit-identical either way (test_transmit_batch pins this);
+  /// disable only to measure or debug the full decoder-copy pass.
+  bool mismatch_reuse = true;
+
   /// Failure injection: probability a gradient-sync message is lost in
   /// transit. A lost update opens a version gap at the receiver; the next
   /// delivered update detects the gap and triggers a FULL decoder-state
@@ -154,9 +164,31 @@ class SemanticEdgeSystem {
 
   /// Event-driven variant for open-loop workloads (E7/E10): the report is
   /// delivered to `on_done` when the message reaches the receiver device.
+  /// Implemented as the N = 1 case of transmit_many (bit-identical reports,
+  /// stats, and RNG streams).
   void transmit_async(const std::string& sender, const std::string& receiver,
                       text::Sentence message,
                       std::function<void(TransmitReport)> on_done);
+
+  /// Batched end-to-end transmission: N messages from `sender` to
+  /// `receiver` run the data plane once per (selected domain, fine-tune
+  /// interval) group — one encode_batch, one quantize_batch, one
+  /// channel transmit_batch (per-message forked RNG, so message i sees
+  /// exactly the noise stream i sequential calls would), and one
+  /// decode_logits_batch on the receiver replica — instead of N single
+  /// passes. `on_done(i, report)` fires as message i arrives at the
+  /// receiver device; each message keeps its own timing-plane event chain,
+  /// so latency and queueing behaviour match N transmit_async calls.
+  ///
+  /// Equivalence guarantee: with sync-loss injection off (the default),
+  /// reports and aggregate stats are bit-identical to calling
+  /// transmit_async once per message in order (without running the
+  /// simulator in between). Under sync-loss injection a batch that
+  /// interleaves domains may draw the per-update loss coins in a
+  /// different order.
+  void transmit_many(const std::string& sender, const std::string& receiver,
+                     std::vector<text::Sentence> messages,
+                     std::function<void(std::size_t, TransmitReport)> on_done);
 
   // --- introspection used by tests, examples, and benches ---
   text::World& world() { return world_; }
@@ -189,6 +221,33 @@ class SemanticEdgeSystem {
   void run_update(const std::string& sender, std::size_t domain,
                   EdgeServerState& sender_state, EdgeServerState& recv_state,
                   TransmitReport& report);
+
+  // --- transmit_many stages (transmit_async is the N = 1 case) ---
+  /// Selection, general-cache touches, and user-slot establishment for one
+  /// message; fills the corresponding report fields and returns the
+  /// selected domain.
+  std::size_t prepare_message(EdgeServerState& sstate, EdgeServerState& rstate,
+                              const std::string& sender,
+                              const text::Sentence& message,
+                              TransmitReport& report);
+  /// Eager data plane for the subset `indices` of `messages` that selected
+  /// domain `m`: batched encode/quantize/channel/decode plus the
+  /// per-message mismatch, buffer add, and update trigger, split into
+  /// chunks at the exact messages where the sequential path fine-tunes.
+  void process_domain_group(
+      const std::string& sender, std::size_t m, EdgeServerState& sstate,
+      EdgeServerState& rstate, bool cross_edge,
+      std::uint64_t base_message_index,
+      const std::vector<text::Sentence>& messages,
+      const std::vector<std::size_t>& indices,
+      const std::vector<std::shared_ptr<TransmitReport>>& reports);
+  /// Timing-plane event chain (uplink -> encode -> backbone -> decode ->
+  /// downlink) for one message; `deliver` fires at the receiver device.
+  void schedule_delivery(const UserProfile& sprofile,
+                         const UserProfile& rprofile, std::size_t domain,
+                         const text::Sentence& message,
+                         std::shared_ptr<TransmitReport> report,
+                         std::function<void(TransmitReport)> deliver);
 
   SystemConfig config_;
   Rng rng_;

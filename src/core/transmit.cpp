@@ -1,16 +1,30 @@
-// The Fig. 1 end-to-end workflow.
+// The Fig. 1 end-to-end workflow, single-message and batched.
 //
 // Structure note: the DATA plane (encode/quantize/channel/decode, mismatch,
-// fine-tuning) is computed eagerly when transmit_async is called — its
-// results do not depend on simulated time. The TIMING plane (uplink,
-// compute queueing, backbone transfer, downlink, sync shipping) is a
-// callback chain through the discrete-event simulator, so open-loop
+// fine-tuning) is computed eagerly when transmit_async / transmit_many is
+// called — its results do not depend on simulated time. The TIMING plane
+// (uplink, compute queueing, backbone transfer, downlink, sync shipping) is
+// a callback chain through the discrete-event simulator, so open-loop
 // workloads (E7/E10) see real queueing contention. Weight updates therefore
 // take effect in transmit-call order, which is deterministic.
+//
+// transmit_many batches the data plane: messages are grouped by selected
+// domain and each group runs encode_batch / quantize_batch /
+// transmit_batch / decode_logits_batch once per chunk, where chunk
+// boundaries fall exactly on the messages whose buffer add trips the
+// fine-tune trigger (the sequential path updates the weights there, so
+// later messages must be encoded by the post-update model). Per-message
+// channel noise keeps the sequential fork discipline: message i (counted
+// across the whole system) forks rng_ with tag 0xC4A2 ^ (i * 2654435761),
+// so batched and sequential runs consume identical noise streams.
 #include "core/system.hpp"
+
+#include <algorithm>
+#include <cstring>
 
 #include "common/check.hpp"
 #include "metrics/ngram.hpp"
+#include "nn/loss.hpp"
 
 namespace semcache::core {
 
@@ -20,6 +34,13 @@ constexpr std::size_t kTokenBytes = 2;   ///< raw token id on device links
 
 std::size_t raw_message_bytes(const text::Sentence& s) {
   return kHeaderBytes + kTokenBytes * s.surface.size();
+}
+
+/// Channel-noise fork tag for the system-wide message counter value `index`
+/// (the same discipline whether the message rides the batched or the
+/// sequential path). Pinned by test_channel_golden.
+std::uint64_t channel_fork_tag(std::uint64_t index) {
+  return 0xC4A2 ^ (index * 2654435761ULL);
 }
 }  // namespace
 
@@ -120,36 +141,29 @@ void SemanticEdgeSystem::set_sync_loss_probability(double p) {
   config_.sync_loss_probability = p;
 }
 
-void SemanticEdgeSystem::transmit_async(
-    const std::string& sender, const std::string& receiver,
-    text::Sentence message, std::function<void(TransmitReport)> on_done) {
-  SEMCACHE_CHECK(on_done != nullptr, "transmit_async: null completion");
-  SEMCACHE_CHECK(message.surface.size() == config_.codec.sentence_length,
-                 "transmit_async: message length must match codec window");
-  const UserProfile& sprofile = user(sender);
-  const UserProfile& rprofile = user(receiver);
-  EdgeServerState& sstate = edge_state(sprofile.edge_index);
-  EdgeServerState& rstate = edge_state(rprofile.edge_index);
-
-  auto report = std::make_shared<TransmitReport>();
-  report->domain_true = message.domain;
+std::size_t SemanticEdgeSystem::prepare_message(EdgeServerState& sstate,
+                                                EdgeServerState& rstate,
+                                                const std::string& sender,
+                                                const text::Sentence& message,
+                                                TransmitReport& report) {
+  report.domain_true = message.domain;
 
   // --- Model selection (§III-A). ---
   const std::size_t m = config_.oracle_selection
                             ? message.domain
                             : selector_->select(message.surface);
-  report->domain_selected = m;
-  report->selection_correct = (m == message.domain);
-  if (!report->selection_correct) ++stats_.selection_errors;
+  report.domain_selected = m;
+  report.selection_correct = (m == message.domain);
+  if (!report.selection_correct) ++stats_.selection_errors;
 
   // --- General models through the edge caches (①). ---
-  report->general_cache_hit = touch_general_cache(sstate, m);
+  report.general_cache_hit = touch_general_cache(sstate, m);
   touch_general_cache(rstate, m);
 
   // --- User-specific slots (②): clone from the general model on first
   // contact. The receiver edge holds the decoder replica for this
   // (sender, domain) pair. ---
-  report->established_user_model = (sstate.find_slot(sender, m) == nullptr);
+  report.established_user_model = (sstate.find_slot(sender, m) == nullptr);
   UserModelSlot& sslot =
       sstate.ensure_slot(sender, m, [&] { return clone_general(m); });
   if (sslot.buffer == nullptr) {
@@ -160,59 +174,163 @@ void SemanticEdgeSystem::transmit_async(
         std::max(config_.buffer_capacity, config_.buffer_trigger));
   }
   rstate.ensure_slot(sender, m, [&] { return clone_general(m); });
+  return m;
+}
+
+void SemanticEdgeSystem::process_domain_group(
+    const std::string& sender, std::size_t m, EdgeServerState& sstate,
+    EdgeServerState& rstate, bool cross_edge,
+    std::uint64_t base_message_index,
+    const std::vector<text::Sentence>& messages,
+    const std::vector<std::size_t>& indices,
+    const std::vector<std::shared_ptr<TransmitReport>>& reports) {
+  UserModelSlot& sslot = *sstate.find_slot(sender, m);
   UserModelSlot& rslot = *rstate.find_slot(sender, m);
+  const std::size_t length = config_.codec.sentence_length;
+  const std::size_t vocab = config_.codec.meaning_vocab;
 
-  // ================= data plane (eager) =================
-  // Batched entry point with count 1: same math as encode(), but keeps the
-  // whole data plane on the allocation-free batch path (a future batched
-  // transmit stacks N messages here). The reference is valid until this
-  // encoder's next encode, which happens only after this block.
-  const tensor::Tensor& feature =
-      sslot.model->encoder().encode_batch(message.surface, 1);
-  const BitVec payload = quantizer_->quantize(feature);
+  nn::SoftmaxCrossEntropy ce;
+  tensor::Tensor copy_slice;  // one message's decoder-copy logits (L x V)
+  std::vector<std::int32_t> surfaces;
 
-  BitVec received_bits = payload;
+  std::size_t pos = 0;
+  while (pos < indices.size()) {
+    // Chunk boundary: the sequential path fine-tunes at the message whose
+    // buffer add trips the trigger, and every later message is encoded by
+    // the updated weights — so a chunk may extend at most that far.
+    const std::size_t until_ready =
+        std::max<std::size_t>(1, sslot.buffer->adds_until_ready());
+    const std::size_t chunk = std::min(indices.size() - pos, until_ready);
+
+    // ---- One batched pass over the chunk. ----
+    surfaces.clear();
+    surfaces.reserve(chunk * length);
+    for (std::size_t j = 0; j < chunk; ++j) {
+      const text::Sentence& message = messages[indices[pos + j]];
+      surfaces.insert(surfaces.end(), message.surface.begin(),
+                      message.surface.end());
+    }
+    // Valid until this encoder's next encode, which happens only after
+    // this chunk (the mismatch pass reads it through roundtrip_batch).
+    const tensor::Tensor& features =
+        sslot.model->encoder().encode_batch(surfaces, chunk);
+    const std::vector<BitVec> payloads = quantizer_->quantize_batch(features);
+
+    std::vector<BitVec> received;
+    if (cross_edge) {
+      std::vector<Rng> rngs;
+      rngs.reserve(chunk);
+      for (std::size_t j = 0; j < chunk; ++j) {
+        rngs.push_back(rng_.fork(
+            channel_fork_tag(base_message_index + indices[pos + j])));
+      }
+      received = pipeline_->transmit_batch(payloads, rngs);
+    } else {
+      received = payloads;
+    }
+    const tensor::Tensor rx_features = quantizer_->dequantize_batch(received);
+    // Keep the receiver logits alive past the argmax: the mismatch-reuse
+    // fast path below reads per-message row slices out of them.
+    const tensor::Tensor& rx_logits =
+        rslot.model->decoder().decode_logits_batch(rx_features);
+    const std::vector<std::int32_t> decoded = tensor::row_argmax(rx_logits);
+
+    // --- Mismatch calculation (③). With the decoder copy the sender can
+    // evaluate its own clean quantized features locally; without it, the
+    // receiver must return its decoded output ("sending the output back
+    // would defeat the purpose", §II-C).
+    //
+    // Fast path (mismatch_reuse): replicas at the same sync version are
+    // byte-identical, so for every message whose payload crossed the
+    // channel intact the receiver logits already ARE the decoder-copy
+    // logits — no second decoder forward. Messages the channel corrupted
+    // (rare at serving SNRs) fall back to a single-row decoder-copy pass.
+    const bool replicas_synced =
+        &sslot == &rslot ||
+        sslot.send_version == rslot.recv_version.current();
+    const bool reuse = config_.decoder_copy_enabled &&
+                       config_.mismatch_reuse && replicas_synced;
+    const tensor::Tensor* copy_logits = nullptr;
+    if (config_.decoder_copy_enabled && !reuse) {
+      const tensor::Tensor clean = quantizer_->roundtrip_batch(features);
+      // Note: intra-edge, sslot and rslot alias the same decoder; the
+      // decoded ids above are already copied out, so overwriting its
+      // logits buffer here is safe (rx_logits is not read again on this
+      // branch).
+      copy_logits = &sslot.model->decoder().decode_logits_batch(clean);
+    }
+
+    // ---- Per-message bookkeeping, in arrival order within the chunk. ----
+    for (std::size_t j = 0; j < chunk; ++j) {
+      const std::size_t idx = indices[pos + j];
+      const text::Sentence& message = messages[idx];
+      TransmitReport& report = *reports[idx];
+
+      report.decoded_meanings.assign(
+          decoded.begin() + static_cast<std::ptrdiff_t>(j * length),
+          decoded.begin() + static_cast<std::ptrdiff_t>((j + 1) * length));
+      report.token_accuracy =
+          metrics::token_accuracy(message.meanings, report.decoded_meanings);
+      report.exact = (report.decoded_meanings == message.meanings);
+      report.payload_bytes = (payloads[j].size() + 7) / 8 + kHeaderBytes;
+      if (cross_edge) {
+        report.airtime_bits =
+            pipeline_->code().encoded_length(payloads[j].size());
+      }
+
+      if (config_.decoder_copy_enabled) {
+        if (reuse && received[j] == payloads[j]) {
+          // Clean payload + synced replicas: rx_logits rows j*L..(j+1)*L
+          // are bit-identical to what the decoder copy would produce.
+          copy_slice.resize({length, vocab});
+          std::memcpy(copy_slice.data(), rx_logits.data() + j * length * vocab,
+                      length * vocab * sizeof(float));
+          report.mismatch = ce.forward(copy_slice, message.meanings);
+        } else if (reuse) {
+          // Channel-corrupted message: evaluate this one clean feature row
+          // through the decoder copy (sslot != rslot here — a corrupted
+          // payload implies a cross-edge channel — so the receiver logits
+          // other messages still slice stay untouched).
+          tensor::Tensor row({1, config_.codec.feature_dim});
+          std::memcpy(row.data(), features.data() + j * row.size(),
+                      row.size() * sizeof(float));
+          const tensor::Tensor clean = quantizer_->roundtrip(row);
+          const tensor::Tensor logits =
+              sslot.model->decoder().decode_logits(clean);
+          report.mismatch = ce.forward(logits, message.meanings);
+        } else {
+          copy_slice.resize({length, vocab});
+          std::memcpy(copy_slice.data(),
+                      copy_logits->data() + j * length * vocab,
+                      length * vocab * sizeof(float));
+          report.mismatch = ce.forward(copy_slice, message.meanings);
+        }
+      } else {
+        report.output_return_bytes =
+            kHeaderBytes + kTokenBytes * report.decoded_meanings.size();
+        stats_.output_return_bytes += report.output_return_bytes;
+        // Error-rate proxy computed from the returned output.
+        report.mismatch = 1.0 - report.token_accuracy;
+      }
+      sslot.buffer->add({message.surface, message.meanings}, report.mismatch);
+      stats_.feature_bytes += report.payload_bytes;
+    }
+
+    // --- Update trigger (④): fires on the chunk's last message, exactly
+    // where the sequential path fires it. ---
+    if (sslot.buffer->ready()) {
+      run_update(sender, m, sstate, rstate, *reports[indices[pos + chunk - 1]]);
+    }
+    pos += chunk;
+  }
+}
+
+void SemanticEdgeSystem::schedule_delivery(
+    const UserProfile& sprofile, const UserProfile& rprofile,
+    std::size_t domain, const text::Sentence& message,
+    std::shared_ptr<TransmitReport> report,
+    std::function<void(TransmitReport)> deliver) {
   const bool cross_edge = sprofile.edge_index != rprofile.edge_index;
-  if (cross_edge) {
-    Rng ch_rng = rng_.fork(0xC4A2 ^ (stats_.messages * 2654435761ULL));
-    received_bits = pipeline_->transmit(payload, ch_rng);
-    report->airtime_bits = pipeline_->code().encoded_length(payload.size());
-  }
-
-  const tensor::Tensor rx_feature = quantizer_->dequantize(received_bits);
-  report->decoded_meanings = rslot.model->decoder().decode(rx_feature);
-  report->token_accuracy =
-      metrics::token_accuracy(message.meanings, report->decoded_meanings);
-  report->exact = (report->decoded_meanings == message.meanings);
-  report->payload_bytes = (payload.size() + 7) / 8 + kHeaderBytes;
-
-  // --- Mismatch calculation (③). With the decoder copy the sender can
-  // evaluate its own clean quantized feature locally; without it, the
-  // receiver must return its decoded output ("sending the output back
-  // would defeat the purpose", §II-C). ---
-  if (config_.decoder_copy_enabled) {
-    const tensor::Tensor clean = quantizer_->roundtrip(feature);
-    const tensor::Tensor logits = sslot.model->decoder().decode_logits(clean);
-    nn::SoftmaxCrossEntropy ce;
-    report->mismatch = ce.forward(logits, message.meanings);
-  } else {
-    report->output_return_bytes =
-        kHeaderBytes + kTokenBytes * report->decoded_meanings.size();
-    stats_.output_return_bytes += report->output_return_bytes;
-    // Error-rate proxy computed from the returned output.
-    report->mismatch = 1.0 - report->token_accuracy;
-  }
-  sslot.buffer->add({message.surface, message.meanings}, report->mismatch);
-
-  // --- Update trigger (④). ---
-  if (sslot.buffer->ready()) {
-    run_update(sender, m, sstate, rstate, *report);
-  }
-
-  stats_.feature_bytes += report->payload_bytes;
-  ++stats_.messages;
-
-  // ================= timing plane (event chain) =================
   const double start_time = sim_.now();
   const std::size_t up_bytes = raw_message_bytes(message);
   const std::size_t down_bytes =
@@ -221,18 +339,24 @@ void SemanticEdgeSystem::transmit_async(
   stats_.downlink_bytes += down_bytes;
 
   edge::Network& net = *topology_.net;
+  UserModelSlot& sslot =
+      *edge_state(sprofile.edge_index).find_slot(sprofile.name, domain);
+  UserModelSlot& rslot =
+      *edge_state(rprofile.edge_index).find_slot(sprofile.name, domain);
   const double enc_flops =
-      2.0 * static_cast<double>(sslot.model->encoder().parameters().scalar_count());
+      2.0 *
+      static_cast<double>(sslot.model->encoder().parameters().scalar_count());
   const double dec_flops =
-      2.0 * static_cast<double>(rslot.model->decoder().parameters().scalar_count());
+      2.0 *
+      static_cast<double>(rslot.model->decoder().parameters().scalar_count());
 
   const edge::NodeId s_dev = sprofile.device;
   const edge::NodeId r_dev = rprofile.device;
   const edge::NodeId s_edge = topology_.edges[sprofile.edge_index];
   const edge::NodeId r_edge = topology_.edges[rprofile.edge_index];
-  auto done = [this, report, on_done = std::move(on_done), start_time] {
+  auto done = [this, report, deliver = std::move(deliver), start_time] {
     report->latency_s = sim_.now() - start_time;
-    on_done(std::move(*report));
+    deliver(std::move(*report));
   };
 
   // Chain: uplink -> encode -> backbone -> decode -> downlink.
@@ -258,6 +382,77 @@ void SemanticEdgeSystem::transmit_async(
     net.node(s_edge).submit_compute(sim_, enc_flops, std::move(backbone));
   };
   net.link(s_dev, s_edge).send(sim_, up_bytes, std::move(encode));
+}
+
+void SemanticEdgeSystem::transmit_many(
+    const std::string& sender, const std::string& receiver,
+    std::vector<text::Sentence> messages,
+    std::function<void(std::size_t, TransmitReport)> on_done) {
+  SEMCACHE_CHECK(on_done != nullptr, "transmit_many: null completion");
+  SEMCACHE_CHECK(!messages.empty(), "transmit_many: empty batch");
+  for (const text::Sentence& message : messages) {
+    SEMCACHE_CHECK(message.surface.size() == config_.codec.sentence_length,
+                   "transmit_many: message length must match codec window");
+  }
+  const UserProfile& sprofile = user(sender);
+  const UserProfile& rprofile = user(receiver);
+  EdgeServerState& sstate = edge_state(sprofile.edge_index);
+  EdgeServerState& rstate = edge_state(rprofile.edge_index);
+  const bool cross_edge = sprofile.edge_index != rprofile.edge_index;
+  const std::size_t n = messages.size();
+
+  // ---- Selection / caches / slots, strictly in arrival order (the
+  // selector and the LRU cache are stateful). ----
+  std::vector<std::shared_ptr<TransmitReport>> reports(n);
+  std::vector<std::size_t> domains(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    reports[i] = std::make_shared<TransmitReport>();
+    domains[i] = prepare_message(sstate, rstate, sender, messages[i],
+                                 *reports[i]);
+  }
+
+  // ================= data plane (eager, batched) =================
+  // Group by selected domain (first-appearance order); within a group the
+  // arrival order is preserved, and each message keeps the channel-noise
+  // fork of its system-wide index.
+  const std::uint64_t base_message_index = stats_.messages;
+  std::vector<std::size_t> group_domains;
+  std::vector<std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t g = 0;
+    while (g < group_domains.size() && group_domains[g] != domains[i]) ++g;
+    if (g == group_domains.size()) {
+      group_domains.push_back(domains[i]);
+      groups.emplace_back();
+    }
+    groups[g].push_back(i);
+  }
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    process_domain_group(sender, group_domains[g], sstate, rstate, cross_edge,
+                         base_message_index, messages, groups[g], reports);
+  }
+  stats_.messages += n;
+
+  // ================= timing plane (one event chain per message) =========
+  for (std::size_t i = 0; i < n; ++i) {
+    schedule_delivery(sprofile, rprofile, domains[i], messages[i], reports[i],
+                      [on_done, i](TransmitReport report) {
+                        on_done(i, std::move(report));
+                      });
+  }
+}
+
+void SemanticEdgeSystem::transmit_async(
+    const std::string& sender, const std::string& receiver,
+    text::Sentence message, std::function<void(TransmitReport)> on_done) {
+  SEMCACHE_CHECK(on_done != nullptr, "transmit_async: null completion");
+  std::vector<text::Sentence> batch;
+  batch.push_back(std::move(message));
+  transmit_many(sender, receiver, std::move(batch),
+                [on_done = std::move(on_done)](std::size_t,
+                                               TransmitReport report) {
+                  on_done(std::move(report));
+                });
 }
 
 }  // namespace semcache::core

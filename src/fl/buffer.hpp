@@ -29,6 +29,12 @@ class DomainBuffer {
   std::span<const semantic::Sample> samples() const { return samples_; }
   std::size_t size() const { return samples_.size(); }
   std::size_t trigger() const { return trigger_; }
+  /// Further add() calls until ready() turns true (0 = already ready).
+  /// Lets the batched transmit path split a message group at the exact
+  /// points where the sequential path would fine-tune.
+  std::size_t adds_until_ready() const {
+    return since_consume_ >= trigger_ ? 0 : trigger_ - since_consume_;
+  }
   double mean_mismatch() const;
 
   /// Mark the buffered data as consumed by a training round; keeps the

@@ -14,14 +14,9 @@ FeatureQuantizer::FeatureQuantizer(std::size_t dims, unsigned bits_per_dim)
                  "quantizer: bits_per_dim must be in [1, 16]");
 }
 
-BitVec FeatureQuantizer::quantize(const tensor::Tensor& feature) const {
-  SEMCACHE_CHECK(feature.size() == dims_,
-                 "quantizer: feature has " + std::to_string(feature.size()) +
-                     " dims, expected " + std::to_string(dims_));
-  BitVec bits;
-  bits.reserve(total_bits());
+void FeatureQuantizer::quantize_row(const float* row, BitVec& bits) const {
   for (std::size_t i = 0; i < dims_; ++i) {
-    const float x = std::clamp(feature.at(i), -1.0f, 1.0f);
+    const float x = std::clamp(row[i], -1.0f, 1.0f);
     // Map [-1, 1] onto [0, levels-1].
     auto level = static_cast<std::uint32_t>(
         std::lround((static_cast<double>(x) + 1.0) / 2.0 *
@@ -29,6 +24,26 @@ BitVec FeatureQuantizer::quantize(const tensor::Tensor& feature) const {
     level = std::min(level, levels_ - 1);
     append_bits(bits, level, bits_);
   }
+}
+
+void FeatureQuantizer::dequantize_row(const BitVec& bits, std::size_t pos,
+                                      float* out) const {
+  for (std::size_t i = 0; i < dims_; ++i) {
+    const auto level = static_cast<std::uint32_t>(read_bits(bits, pos, bits_));
+    const double x = 2.0 * static_cast<double>(level) /
+                         static_cast<double>(levels_ - 1) -
+                     1.0;
+    out[i] = static_cast<float>(x);
+  }
+}
+
+BitVec FeatureQuantizer::quantize(const tensor::Tensor& feature) const {
+  SEMCACHE_CHECK(feature.size() == dims_,
+                 "quantizer: feature has " + std::to_string(feature.size()) +
+                     " dims, expected " + std::to_string(dims_));
+  BitVec bits;
+  bits.reserve(total_bits());
+  quantize_row(feature.data(), bits);
   return bits;
 }
 
@@ -37,20 +52,56 @@ tensor::Tensor FeatureQuantizer::dequantize(const BitVec& bits) const {
                  "quantizer: expected " + std::to_string(total_bits()) +
                      " bits, got " + std::to_string(bits.size()));
   tensor::Tensor out({1, dims_});
-  std::size_t pos = 0;
-  for (std::size_t i = 0; i < dims_; ++i) {
-    const auto level = static_cast<std::uint32_t>(read_bits(bits, pos, bits_));
-    const double x = 2.0 * static_cast<double>(level) /
-                         static_cast<double>(levels_ - 1) -
-                     1.0;
-    out.at(0, i) = static_cast<float>(x);
-  }
+  dequantize_row(bits, 0, out.data());
   return out;
 }
 
 tensor::Tensor FeatureQuantizer::roundtrip(
     const tensor::Tensor& feature) const {
   return dequantize(quantize(feature));
+}
+
+std::vector<BitVec> FeatureQuantizer::quantize_batch(
+    const tensor::Tensor& features) const {
+  SEMCACHE_CHECK(features.rank() == 2 && features.dim(1) == dims_,
+                 "quantizer: batch must be (N x " + std::to_string(dims_) +
+                     "), got " + features.shape_string());
+  std::vector<BitVec> payloads(features.dim(0));
+  for (std::size_t r = 0; r < features.dim(0); ++r) {
+    payloads[r].reserve(total_bits());
+    quantize_row(features.data() + r * dims_, payloads[r]);
+  }
+  return payloads;
+}
+
+tensor::Tensor FeatureQuantizer::dequantize_batch(
+    const std::vector<BitVec>& payloads) const {
+  SEMCACHE_CHECK(!payloads.empty(), "quantizer: empty payload batch");
+  tensor::Tensor out({payloads.size(), dims_});
+  for (std::size_t r = 0; r < payloads.size(); ++r) {
+    SEMCACHE_CHECK(payloads[r].size() == total_bits(),
+                   "quantizer: payload " + std::to_string(r) + " has " +
+                       std::to_string(payloads[r].size()) + " bits, expected " +
+                       std::to_string(total_bits()));
+    dequantize_row(payloads[r], 0, out.data() + r * dims_);
+  }
+  return out;
+}
+
+tensor::Tensor FeatureQuantizer::roundtrip_batch(
+    const tensor::Tensor& features) const {
+  SEMCACHE_CHECK(features.rank() == 2 && features.dim(1) == dims_,
+                 "quantizer: batch must be (N x " + std::to_string(dims_) +
+                     "), got " + features.shape_string());
+  tensor::Tensor out({features.dim(0), dims_});
+  BitVec bits;
+  bits.reserve(total_bits());
+  for (std::size_t r = 0; r < features.dim(0); ++r) {
+    bits.clear();
+    quantize_row(features.data() + r * dims_, bits);
+    dequantize_row(bits, 0, out.data() + r * dims_);
+  }
+  return out;
 }
 
 double FeatureQuantizer::max_error() const {

@@ -5,6 +5,8 @@
 // exactly quantize()'s output.
 #pragma once
 
+#include <vector>
+
 #include "common/bits.hpp"
 #include "tensor/tensor.hpp"
 
@@ -26,6 +28,17 @@ class FeatureQuantizer {
   /// channel.
   tensor::Tensor roundtrip(const tensor::Tensor& feature) const;
 
+  // --- Batched row-wise variants (the transmit_many data plane). Row i of
+  // every batch call is bit-identical to the single-feature call on row i,
+  // so the batched system path reproduces the sequential one exactly. ---
+
+  /// (N x dims) features -> N payloads; payload i == quantize(row i).
+  std::vector<BitVec> quantize_batch(const tensor::Tensor& features) const;
+  /// N payloads -> (N x dims) reconstructions; row i == dequantize(bits i).
+  tensor::Tensor dequantize_batch(const std::vector<BitVec>& payloads) const;
+  /// Row-wise quantize-then-dequantize of an (N x dims) feature batch.
+  tensor::Tensor roundtrip_batch(const tensor::Tensor& features) const;
+
   std::size_t dims() const { return dims_; }
   unsigned bits_per_dim() const { return bits_; }
   std::size_t total_bits() const { return dims_ * bits_; }
@@ -34,6 +47,11 @@ class FeatureQuantizer {
   double max_error() const;
 
  private:
+  /// Append one row's `dims_` quantized levels to `bits`.
+  void quantize_row(const float* row, BitVec& bits) const;
+  /// Decode `dims_` levels from `bits` starting at bit `pos` into `out`.
+  void dequantize_row(const BitVec& bits, std::size_t pos, float* out) const;
+
   std::size_t dims_;
   unsigned bits_;
   std::uint32_t levels_;

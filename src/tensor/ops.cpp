@@ -339,11 +339,15 @@ Tensor row_softmax(const Tensor& logits) {
 
 std::vector<std::int32_t> row_argmax(const Tensor& t) {
   SEMCACHE_CHECK(t.rank() == 2, "row_argmax: rank-2 required");
-  std::vector<std::int32_t> out(t.dim(0));
-  for (std::size_t i = 0; i < t.dim(0); ++i) {
+  const std::size_t m = t.dim(0);
+  const std::size_t n = t.dim(1);
+  std::vector<std::int32_t> out(m);
+  const float* __restrict p = t.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* __restrict row = p + i * n;
     std::size_t best = 0;
-    for (std::size_t j = 1; j < t.dim(1); ++j) {
-      if (t.at(i, j) > t.at(i, best)) best = j;
+    for (std::size_t j = 1; j < n; ++j) {
+      if (row[j] > row[best]) best = j;
     }
     out[i] = static_cast<std::int32_t>(best);
   }

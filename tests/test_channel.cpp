@@ -278,6 +278,50 @@ TEST(Pipeline, LosslessOnCleanChannel) {
   EXPECT_GT(pipe->stats().airtime_bits, 96u);  // code overhead on the air
 }
 
+TEST(Pipeline, TransmitBatchMatchesSequentialBitsAndStats) {
+  // Batch message i must consume exactly rngs[i]'s stream, so its bits are
+  // identical to a sequential transmit with the same fork — and the stats
+  // must account per MESSAGE, not per transmit_batch call.
+  auto batched = make_awgn_pipeline(std::make_unique<HammingCode>(),
+                                    Modulation::kQpsk, 6.0, 4);
+  auto sequential = make_awgn_pipeline(std::make_unique<HammingCode>(),
+                                       Modulation::kQpsk, 6.0, 4);
+  Rng payload_rng(19);
+  const Rng parent(19);
+  std::vector<BitVec> payloads;
+  std::vector<Rng> batch_rngs;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    payloads.push_back(random_bits(96, payload_rng));
+    batch_rngs.push_back(parent.fork(i));
+  }
+  const std::vector<BitVec> received =
+      batched->transmit_batch(payloads, batch_rngs);
+
+  ASSERT_EQ(received.size(), payloads.size());
+  std::size_t expected_payload_bits = 0;
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    Rng seq_rng = parent.fork(i);
+    EXPECT_EQ(received[i], sequential->transmit(payloads[i], seq_rng))
+        << "payload " << i;
+    expected_payload_bits += payloads[i].size();
+  }
+  // Per-message accounting: 5 messages, and the bit sums equal the
+  // sequential path's.
+  EXPECT_EQ(batched->stats().messages, 5u);
+  EXPECT_EQ(batched->stats().messages, sequential->stats().messages);
+  EXPECT_EQ(batched->stats().payload_bits, expected_payload_bits);
+  EXPECT_EQ(batched->stats().payload_bits, sequential->stats().payload_bits);
+  EXPECT_EQ(batched->stats().airtime_bits, sequential->stats().airtime_bits);
+}
+
+TEST(Pipeline, TransmitBatchRejectsRngCountMismatch) {
+  auto pipe = make_bsc_pipeline(std::make_unique<IdentityCode>(), 0.0);
+  Rng rng(20);
+  std::vector<BitVec> payloads = {random_bits(8, rng)};
+  std::vector<Rng> rngs;  // empty: one rng short
+  EXPECT_THROW(pipe->transmit_batch(payloads, rngs), Error);
+}
+
 TEST(Pipeline, MakeCodeFactory) {
   EXPECT_EQ(make_code("uncoded")->name(), "uncoded");
   EXPECT_EQ(make_code("rep3")->name(), "repetition3");

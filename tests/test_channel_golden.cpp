@@ -157,6 +157,77 @@ TEST_F(ChannelGoldenRng, ViterbiCorrectsIsolatedBitErrors) {
   }
 }
 
+// --- Channel-fork RNG discipline ---------------------------------------
+
+// The transmit data plane forks the system RNG once per message with tag
+// 0xC4A2 ^ (message_index * 2654435761), where message_index is the
+// system-wide message counter — whether the message rides transmit_async
+// or a transmit_many batch. These goldens pin (a) the tag formula, (b) the
+// derived fork seeds, and (c) the first raw mt19937_64 outputs of each
+// fork (fully specified by the standard, so the expectations are
+// implementation-independent). A refactor that reorders or re-keys the
+// per-message forks inside the batch loop shifts every downstream
+// experiment; it must fail here loudly instead of silently.
+
+constexpr std::uint64_t channel_fork_tag(std::uint64_t index) {
+  return 0xC4A2 ^ (index * 2654435761ULL);
+}
+
+TEST(ChannelForkGolden, TagFormulaPinned) {
+  EXPECT_EQ(channel_fork_tag(0), 0xC4A2ULL);
+  EXPECT_EQ(channel_fork_tag(1), 0x9E37BD13ULL);
+  EXPECT_EQ(channel_fork_tag(2), 0x13C6E37C0ULL);
+  EXPECT_EQ(channel_fork_tag(3), 0x1DAA6A9B1ULL);
+}
+
+TEST(ChannelForkGolden, ForkStreamsPinnedForDefaultSystemSeed) {
+  // seed 42 = SystemConfig's default seed.
+  const Rng parent(42);
+  constexpr std::uint64_t expect_seed[4] = {
+      0x9FEEE877C530868CULL, 0x4456973479A19DBBULL, 0x737CADD5285C2974ULL,
+      0xC8F90DAFAF5DC54AULL};
+  constexpr std::uint64_t expect_out[4][2] = {
+      {0x57EFE68E9B6B96C2ULL, 0x4F53630619108FA7ULL},
+      {0xCFC075C00A5BCD15ULL, 0x20E086FEAC881CA3ULL},
+      {0x085C2487AFF6747EULL, 0xAC38D883D5509D9AULL},
+      {0x4B2551853097D90AULL, 0x336590C1D527F846ULL}};
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    Rng fork = parent.fork(channel_fork_tag(i));
+    EXPECT_EQ(fork.seed(), expect_seed[i]) << "message index " << i;
+    EXPECT_EQ(fork.engine()(), expect_out[i][0]) << "message index " << i;
+    EXPECT_EQ(fork.engine()(), expect_out[i][1]) << "message index " << i;
+  }
+}
+
+TEST(ChannelForkGolden, ForkStreamsPinnedForGoldenSuiteSeed) {
+  const Rng parent(7);
+  constexpr std::uint64_t expect_seed[4] = {
+      0x215EF22BC66D3D54ULL, 0x0EA15DDA3B24A004ULL, 0x2E6791162CF02BF8ULL,
+      0xA976593491421AD3ULL};
+  constexpr std::uint64_t expect_out0[4] = {
+      0x617283F428EC03E3ULL, 0x4C48055CCFC313A4ULL, 0xD60711E95216B657ULL,
+      0x0FE739223B1FF703ULL};
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    Rng fork = parent.fork(channel_fork_tag(i));
+    EXPECT_EQ(fork.seed(), expect_seed[i]) << "message index " << i;
+    EXPECT_EQ(fork.engine()(), expect_out0[i]) << "message index " << i;
+  }
+}
+
+TEST(ChannelForkGolden, ForkIsConstAndOrderIndependent) {
+  // fork() derives the child purely from (parent seed, tag): it must not
+  // advance the parent stream, and fork order must not matter — the batch
+  // loop relies on both to reproduce the sequential per-message streams.
+  Rng a(42), b(42);
+  (void)a.fork(channel_fork_tag(3));
+  (void)a.fork(channel_fork_tag(1));
+  const std::uint64_t after_forks = a.engine()();
+  const std::uint64_t untouched = b.engine()();
+  EXPECT_EQ(after_forks, untouched);
+  EXPECT_EQ(a.fork(channel_fork_tag(2)).seed(),
+            b.fork(channel_fork_tag(2)).seed());
+}
+
 // --- Repetition at several rates ---------------------------------------
 
 TEST(RepetitionGolden, MajorityVoteAcrossRates) {

@@ -2,6 +2,9 @@
 // byte-identity, quantizer round-trips, training convergence, fidelity.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "metrics/ngram.hpp"
 #include "nn/optimizer.hpp"
 #include "semantic/codec.hpp"
@@ -202,6 +205,100 @@ TEST_P(QuantizerBitsSweep, ErrorShrinksWithBits) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, QuantizerBitsSweep,
                          ::testing::Values(1, 2, 4, 6, 8, 12, 16));
+
+// --- Batched quantizer (the transmit_many data plane) -------------------
+
+class QuantizerBatchSweep : public ::testing::TestWithParam<unsigned> {
+ protected:
+  static constexpr std::size_t kDims = 6;
+  static constexpr std::size_t kRows = 9;
+
+  /// Mixed batch: tanh-range rows interleaved with out-of-range rows that
+  /// must clamp, plus the exact extremes.
+  static tensor::Tensor mixed_batch(std::uint64_t seed) {
+    Rng rng(seed);
+    tensor::Tensor f({kRows, kDims});
+    for (std::size_t r = 0; r < kRows; ++r) {
+      for (std::size_t c = 0; c < kDims; ++c) {
+        if (r % 3 == 2) {
+          f.at(r, c) = static_cast<float>(rng.uniform(-4.0, 4.0));  // clamps
+        } else {
+          f.at(r, c) = static_cast<float>(rng.uniform(-1.0, 1.0));
+        }
+      }
+    }
+    f.at(0, 0) = 1.0f;
+    f.at(0, 1) = -1.0f;
+    return f;
+  }
+
+  static tensor::Tensor row_of(const tensor::Tensor& batch, std::size_t r) {
+    tensor::Tensor row({1, kDims});
+    for (std::size_t c = 0; c < kDims; ++c) row.at(0, c) = batch.at(r, c);
+    return row;
+  }
+};
+
+TEST_P(QuantizerBatchSweep, QuantizeBatchRowEqualsSingleQuantize) {
+  const unsigned bits = GetParam();
+  const FeatureQuantizer q(kDims, bits);
+  const tensor::Tensor f = mixed_batch(50 + bits);
+  const std::vector<BitVec> payloads = q.quantize_batch(f);
+  ASSERT_EQ(payloads.size(), kRows);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    EXPECT_EQ(payloads[r], q.quantize(row_of(f, r))) << "row " << r;
+    EXPECT_EQ(payloads[r].size(), q.total_bits());
+  }
+}
+
+TEST_P(QuantizerBatchSweep, DequantizeBatchRowEqualsSingleDequantize) {
+  const unsigned bits = GetParam();
+  const FeatureQuantizer q(kDims, bits);
+  const std::vector<BitVec> payloads =
+      q.quantize_batch(mixed_batch(60 + bits));
+  const tensor::Tensor restored = q.dequantize_batch(payloads);
+  ASSERT_EQ(restored.dim(0), kRows);
+  ASSERT_EQ(restored.dim(1), kDims);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    const tensor::Tensor single = q.dequantize(payloads[r]);
+    for (std::size_t c = 0; c < kDims; ++c) {
+      EXPECT_EQ(restored.at(r, c), single.at(0, c))  // bit-exact
+          << "row " << r << " dim " << c;
+    }
+  }
+}
+
+TEST_P(QuantizerBatchSweep, RoundtripBatchMatchesSinglesWithinMaxError) {
+  const unsigned bits = GetParam();
+  const FeatureQuantizer q(kDims, bits);
+  const tensor::Tensor f = mixed_batch(70 + bits);
+  const tensor::Tensor restored = q.roundtrip_batch(f);
+  ASSERT_EQ(restored.shape(), f.shape());
+  for (std::size_t r = 0; r < kRows; ++r) {
+    const tensor::Tensor single = q.roundtrip(row_of(f, r));
+    for (std::size_t c = 0; c < kDims; ++c) {
+      EXPECT_EQ(restored.at(r, c), single.at(0, c))  // bit-exact
+          << "row " << r << " dim " << c;
+      // Per-dimension reconstruction error bound, against the clamped
+      // input (out-of-range dims reconstruct the nearest extreme).
+      const float clamped = std::clamp(f.at(r, c), -1.0f, 1.0f);
+      EXPECT_LE(std::abs(restored.at(r, c) - clamped),
+                static_cast<float>(q.max_error()) + 1e-6f)
+          << "row " << r << " dim " << c;
+    }
+  }
+}
+
+TEST(QuantizerBatch, RejectsBadShapes) {
+  const FeatureQuantizer q(4, 8);
+  EXPECT_THROW(q.quantize_batch(tensor::Tensor({2, 3})), Error);
+  EXPECT_THROW(q.roundtrip_batch(tensor::Tensor({8})), Error);
+  EXPECT_THROW(q.dequantize_batch({}), Error);
+  EXPECT_THROW(q.dequantize_batch({BitVec(31, 0)}), Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QuantizerBatchSweep,
+                         ::testing::Values(1, 4, 8, 16));
 
 // Training tests share a world.
 class TrainingTest : public ::testing::Test {
