@@ -5,6 +5,8 @@
 // Viterbi decoding, Huffman coding, quantization, and the event loop.
 #include <benchmark/benchmark.h>
 
+#include <map>
+
 #include "cache/cache.hpp"
 #include "core/system.hpp"
 #include "channel/convolutional.hpp"
@@ -234,6 +236,73 @@ static void BM_TransmitBatch(benchmark::State& state) {
                           static_cast<std::int64_t>(count));
 }
 BENCHMARK(BM_TransmitBatch)->Arg(1)->Arg(8)->Arg(32);
+
+// The worker-pool serving path: BM_TransmitBatch's exact workload on a
+// system built with num_threads = {1, 2, 4} (args: {threads, batch}).
+// Output is bit-identical to the sequential path by construction
+// (test_transmit_parallel), so the only thing this measures is how much
+// of the per-message channel-noise floor the pool recovers; compare
+// against BM_TransmitBatch at the same batch for the speedup. One system
+// per thread count (the pool is fixed at build), built lazily and leaked
+// like BM_TransmitBatch's.
+static void BM_TransmitBatchThreaded(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const auto count = static_cast<std::size_t>(state.range(1));
+  static auto* systems =
+      new std::map<std::size_t, core::SemanticEdgeSystem*>();
+  static auto* pools =
+      new std::map<std::size_t, std::vector<text::Sentence>>();
+  if (!systems->contains(threads)) {
+    core::SystemConfig config;
+    config.seed = 91;
+    config.world.num_domains = 2;
+    config.world.sentence_length = 8;
+    config.codec.embed_dim = 20;
+    config.codec.feature_dim = 16;
+    config.codec.hidden_dim = 48;
+    config.pretrain.steps = 200;  // throughput bench: accuracy irrelevant
+    config.oracle_selection = true;
+    config.buffer_trigger = 64;  // > max batch: no fine-tune in the loop
+    config.buffer_capacity = 64;
+    config.num_threads = threads;
+    auto built = core::SemanticEdgeSystem::build(config);
+    built->register_user("s", 0, nullptr);
+    built->register_user("r", 1, nullptr);
+    auto& msgs = (*pools)[threads];
+    for (int i = 0; i < 32; ++i) {
+      msgs.push_back(built->sample_message("s", 0));
+    }
+    (*systems)[threads] = built.release();
+  }
+  core::SemanticEdgeSystem* system = (*systems)[threads];
+  const std::vector<text::Sentence>& pool = (*pools)[threads];
+
+  system->transmit_many("s", "r", {pool.front()},
+                        [](std::size_t, core::TransmitReport) {});
+  system->simulator().run();
+  auto* buffer = system->edge_state(0).find_slot("s", 0)->buffer.get();
+  buffer->clear();
+
+  for (auto _ : state) {
+    std::vector<text::Sentence> batch(
+        pool.begin(), pool.begin() + static_cast<std::ptrdiff_t>(count));
+    system->transmit_many("s", "r", std::move(batch),
+                          [](std::size_t, core::TransmitReport) {});
+    system->simulator().run();
+    state.PauseTiming();
+    buffer->clear();  // keep the transaction ring from growing unboundedly
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_TransmitBatchThreaded)
+    ->Args({1, 8})
+    ->Args({1, 32})
+    ->Args({2, 8})
+    ->Args({2, 32})
+    ->Args({4, 8})
+    ->Args({4, 32});
 
 static void BM_ViterbiDecode(benchmark::State& state) {
   const auto bits = static_cast<std::size_t>(state.range(0));

@@ -19,6 +19,11 @@
 #   BENCH_BASELINE  baseline file to diff against (default:
 #                   bench/BASELINE.json next to this script; set empty to
 #                   skip the diff)
+#   SEMCACHE_THREADS  data-plane worker threads for default-configured
+#                   systems (see README "Threading model"). Recorded as
+#                   "threads" in every e-bench JSON and as
+#                   context.semcache_threads in the bench_micro JSON, so a
+#                   perf trajectory row always names its thread count.
 #
 # Invoked by `cmake --build build --target bench`, or standalone:
 #   BENCH_BIN_DIR=build bench/run_all.sh
@@ -45,6 +50,23 @@ for bin in "${BENCH_BIN_DIR}"/bench_*; do
     timeout "${BENCH_TIMEOUT}" "${bin}" \
       --benchmark_format=json >"${out}" 2>"${BENCH_OUT_DIR}/${name}.stderr"
     status=$?
+    if [ "${status}" -eq 0 ]; then
+      # Stamp the worker-thread count into the Google Benchmark context so
+      # threaded and sequential captures are distinguishable in the
+      # trajectory.
+      python3 - "${out}" <<'EOF' || status=1
+import json, os, sys
+path = sys.argv[1]
+doc = json.load(open(path))
+# Mirror common::resolve_thread_count: digits-only, <= 256, else 0 — the
+# stamp must record what the library actually resolved, and a garbage env
+# value must not fail a green bench run.
+raw = os.environ.get("SEMCACHE_THREADS") or "0"
+doc.setdefault("context", {})["semcache_threads"] = \
+    int(raw) if raw.isdigit() and int(raw) <= 256 else 0
+json.dump(doc, open(path, "w"), indent=1)
+EOF
+    fi
   else
     raw="${BENCH_OUT_DIR}/${name}.ndjson"
     timeout "${BENCH_TIMEOUT}" "${bin}" --json \
@@ -53,7 +75,7 @@ for bin in "${BENCH_BIN_DIR}"/bench_*; do
     end="$(python3 -c 'import time; print(time.time())')"
     python3 - "${name}" "${raw}" "${out}" "${start}" "${end}" \
              "${status}" <<'EOF'
-import json, sys
+import json, os, sys
 name, raw_path, out_path, start, end, status = sys.argv[1:7]
 tables = []
 bad_lines = 0
@@ -68,10 +90,15 @@ with open(raw_path) as f:
             # A timeout-killed bench leaves a truncated final line; a
             # stray print poisons one line. Count it, keep the rest.
             bad_lines += 1
+# Mirror common::resolve_thread_count (digits-only, <= 256, else 0) so the
+# recorded count is what the library actually resolved.
+raw_threads = os.environ.get("SEMCACHE_THREADS") or "0"
 doc = {
     "bench": name,
     "exit_status": int(status),
     "bad_lines": bad_lines,
+    "threads": int(raw_threads)
+               if raw_threads.isdigit() and int(raw_threads) <= 256 else 0,
     "wall_s": round(float(end) - float(start), 3),
     "tables": tables,
 }

@@ -60,6 +60,10 @@ class BitChannel {
   BitChannel(const BitChannel&) = delete;
   BitChannel& operator=(const BitChannel&) = delete;
 
+  /// Implementations must be safe for concurrent transmit() calls with
+  /// DISTINCT rngs (read-only channel parameters, all working state local
+  /// or in the rng): ChannelPipeline::transmit_batch runs per-message
+  /// passes on a worker pool. All in-tree channels qualify.
   virtual BitVec transmit(const BitVec& bits, Rng& rng) = 0;
   virtual std::string name() const = 0;
 };

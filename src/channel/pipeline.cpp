@@ -18,7 +18,12 @@ ChannelPipeline::ChannelPipeline(std::unique_ptr<ChannelCode> code,
 }
 
 BitVec ChannelPipeline::transmit(const BitVec& payload, Rng& rng) {
-  return transmit_one(payload, rng);
+  std::size_t airtime_bits = 0;
+  BitVec decoded = transmit_one(payload, rng, airtime_bits);
+  stats_.payload_bits += payload.size();
+  stats_.airtime_bits += airtime_bits;
+  stats_.messages += 1;
+  return decoded;
 }
 
 std::vector<BitVec> ChannelPipeline::transmit_batch(
@@ -27,17 +32,34 @@ std::vector<BitVec> ChannelPipeline::transmit_batch(
                  "pipeline: transmit_batch needs one rng per payload (" +
                      std::to_string(payloads.size()) + " payloads, " +
                      std::to_string(rngs.size()) + " rngs)");
-  std::vector<BitVec> received;
-  received.reserve(payloads.size());
+  const std::size_t n = payloads.size();
+  std::vector<BitVec> received(n);
+  std::vector<std::size_t> airtime(n, 0);
+  std::vector<std::exception_ptr> errors(n);
   // Per-message noise streams stay independent: message i consumes only
-  // rngs[i], so stats and bits match N sequential transmit() calls exactly.
-  for (std::size_t i = 0; i < payloads.size(); ++i) {
-    received.push_back(transmit_one(payloads[i], rngs[i]));
+  // rngs[i], so bits match N sequential transmit() calls exactly whether
+  // the passes run inline or on the pool. Exceptions are captured per
+  // index instead of letting the fan-out rethrow: the stats commit below
+  // must replay the sequential order (messages before the first throwing
+  // index count, the rest do not).
+  common::parallel_for_or_inline(pool_, n, [&](std::size_t i, std::size_t) {
+    try {
+      received[i] = transmit_one(payloads[i], rngs[i], airtime[i]);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+    stats_.payload_bits += payloads[i].size();
+    stats_.airtime_bits += airtime[i];
+    stats_.messages += 1;
   }
   return received;
 }
 
-BitVec ChannelPipeline::transmit_one(const BitVec& payload, Rng& rng) {
+BitVec ChannelPipeline::transmit_one(const BitVec& payload, Rng& rng,
+                                     std::size_t& airtime_bits) const {
   const BitVec coded = code_->encode(payload);
   const BitVec sent = interleaver_.interleave(coded);
   const BitVec received = channel_->transmit(sent, rng);
@@ -47,10 +69,7 @@ BitVec ChannelPipeline::transmit_one(const BitVec& payload, Rng& rng) {
   SEMCACHE_CHECK(decoded.size() >= payload.size(),
                  "pipeline: decoder returned too few bits");
   decoded.resize(payload.size());
-
-  stats_.payload_bits += payload.size();
-  stats_.airtime_bits += sent.size();
-  stats_.messages += 1;
+  airtime_bits = sent.size();
   return decoded;
 }
 

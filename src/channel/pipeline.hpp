@@ -11,6 +11,7 @@
 #include "channel/code.hpp"
 #include "channel/interleaver.hpp"
 #include "channel/physical.hpp"
+#include "common/thread_pool.hpp"
 
 namespace semcache::channel {
 
@@ -35,8 +36,19 @@ class ChannelPipeline {
   /// rngs[i])` and the caller's per-message fork discipline is preserved.
   /// Stats account per message: `messages` grows by payloads.size() and the
   /// payload/airtime bit sums equal N sequential transmits.
+  ///
+  /// With a thread pool attached, the per-message modulate/noise/
+  /// demodulate/decode passes run in parallel — each message consumes only
+  /// its own rngs[i], so the received bits are bit-identical to the
+  /// sequential path regardless of worker count — and the per-message
+  /// stats are committed in ascending index order after the join.
   std::vector<BitVec> transmit_batch(const std::vector<BitVec>& payloads,
                                      std::span<Rng> rngs);
+
+  /// Attach a worker pool for transmit_batch (non-owning; nullptr detaches
+  /// and restores the pure sequential loop). The pool only affects wall
+  /// clock, never bits or stats.
+  void set_thread_pool(common::ThreadPool* pool) { pool_ = pool; }
 
   const PipelineStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
@@ -45,13 +57,18 @@ class ChannelPipeline {
 
  private:
   /// One payload through code/interleave/channel/deinterleave/decode; the
-  /// shared body of transmit() and transmit_batch().
-  BitVec transmit_one(const BitVec& payload, Rng& rng);
+  /// shared body of transmit() and transmit_batch(). Pure with respect to
+  /// pipeline state (safe to run concurrently for distinct messages):
+  /// the coded on-air bit count is reported through `airtime_bits` and
+  /// folded into stats_ by the caller.
+  BitVec transmit_one(const BitVec& payload, Rng& rng,
+                      std::size_t& airtime_bits) const;
 
   std::unique_ptr<ChannelCode> code_;
   std::unique_ptr<BitChannel> channel_;
   BlockInterleaver interleaver_;
   PipelineStats stats_;
+  common::ThreadPool* pool_ = nullptr;
 };
 
 /// Channel-code factory: "uncoded" | "rep3" | "rep5" | "hamming74" |

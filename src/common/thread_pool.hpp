@@ -1,0 +1,125 @@
+// Deterministic worker pool for the data-plane hot paths.
+//
+// parallel_for(count, body) fans body(index, worker_slot) out over a fixed
+// set of worker threads and blocks until every index has run. The
+// determinism contract that lets the threaded serving paths stay
+// bit-identical to the sequential ones:
+//
+//  * body(i, slot) may write only state owned by index i (its own output
+//    slot) or by the executing worker (slot-indexed scratch, e.g. a
+//    tensor::Workspace clone per worker). Because output slots are
+//    disjoint, the computed values are independent of scheduling and of
+//    the worker count.
+//  * Anything order-sensitive — stats accumulation, buffer mutation, RNG
+//    stream consumption from a shared generator — happens on the calling
+//    thread, either before the fan-out (e.g. forking one Rng per index in
+//    index order) or after parallel_for returns (committing per-index
+//    results in ascending index order).
+//
+// Exceptions thrown by body are captured per index; after the join the
+// LOWEST-index exception is rethrown on the caller, matching what a
+// sequential loop would have thrown first (later indices still run — the
+// pool never short-circuits, so side-effect-free bodies stay deterministic
+// even on the error path). Calling parallel_for from inside a pool worker
+// (any pool) throws instead of deadlocking.
+//
+// A pool built with zero workers spawns no threads: parallel_for degrades
+// to an inline caller-thread loop with worker_slot 0, bit-identical to the
+// threaded execution by the contract above. SystemConfig::num_threads = 0
+// rides this path, so the default build never touches std::thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace semcache::common {
+
+class ThreadPool {
+ public:
+  /// body(index, worker_slot): worker_slot < max(1, worker_count()) names
+  /// the executing lane, for per-worker scratch.
+  using Body = std::function<void(std::size_t index, std::size_t worker_slot)>;
+
+  /// Spawns `workers` threads; 0 = inline mode (no threads, see above).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+  /// Run body for every index in [0, count); returns after all complete.
+  /// count <= 1 and worker_count() == 0 execute inline on the caller.
+  void parallel_for(std::size_t count, const Body& body);
+
+  /// True while the calling thread is a pool worker executing a body (the
+  /// state parallel_for uses to reject nested fan-out).
+  static bool on_worker_thread();
+
+ private:
+  /// One fan-out's shared state. Heap-anchored behind a shared_ptr so a
+  /// worker that wakes late (after the caller already returned) still reads
+  /// valid memory, finds no index left, and goes back to sleep.
+  struct Job {
+    Job(Body b, std::size_t n) : body(std::move(b)), count(n) {
+      errors.resize(n);
+    }
+    Body body;
+    std::size_t count;
+    std::mutex next_mu;            // index dispatch + error store
+    std::size_t next = 0;
+    std::size_t completed = 0;
+    std::vector<std::exception_ptr> errors;
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    bool done = false;
+  };
+
+  void worker_main(std::size_t slot);
+  static void run_job(Job& job, std::size_t slot);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::shared_ptr<Job> job_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+/// Run body(index, worker_slot) over [0, count): on the pool when one is
+/// attached and there is real fan-out to do, inline on the caller (slot 0)
+/// otherwise. This is the one engagement predicate every pooled call site
+/// shares; the template keeps the ubiquitous null-pool path free of
+/// std::function construction, which parallel_for's signature would pay
+/// even for its internal inline fallback.
+template <typename Fn>
+void parallel_for_or_inline(ThreadPool* pool, std::size_t count,
+                            const Fn& body) {
+  if (pool != nullptr && pool->worker_count() > 0 && count > 1) {
+    pool->parallel_for(count, body);
+  } else {
+    for (std::size_t i = 0; i < count; ++i) body(i, std::size_t{0});
+  }
+}
+
+/// Largest worker count resolve_thread_count accepts from the
+/// environment; anything above it (or non-numeric, including negatives)
+/// is ignored as garbage rather than spawning a runaway thread herd.
+inline constexpr std::size_t kMaxEnvThreads = 256;
+
+/// Resolve the effective worker count: when `configured` is 0 (the
+/// sequential default) and the SEMCACHE_THREADS environment variable holds
+/// a plain decimal integer in [0, kMaxEnvThreads], the env value wins —
+/// benches and the TSan CI job use it to thread default-configured
+/// systems without code changes. An explicit non-zero `configured` always
+/// wins over the environment; unparseable env values are ignored.
+std::size_t resolve_thread_count(std::size_t configured);
+
+}  // namespace semcache::common

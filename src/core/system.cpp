@@ -33,6 +33,17 @@ std::unique_ptr<SemanticEdgeSystem> SemanticEdgeSystem::build(
       channel::make_code(ch.code), ch.modulation, ch.snr_db,
       ch.interleave_depth);
 
+  // Data-plane worker pool (README "Threading model"): resolved once at
+  // build — an explicit num_threads wins, SEMCACHE_THREADS fills in for
+  // the default 0, and a resolved 0 leaves pool_ null so every consumer
+  // falls back to its sequential loop.
+  sys->config_.num_threads =
+      common::resolve_thread_count(sys->config_.num_threads);
+  if (sys->config_.num_threads > 0) {
+    sys->pool_ = std::make_unique<common::ThreadPool>(sys->config_.num_threads);
+    sys->pipeline_->set_thread_pool(sys->pool_.get());
+  }
+
   sys->pretrain_models();
   sys->build_topology();
   return sys;
@@ -150,7 +161,13 @@ semantic::SemanticCodec& SemanticEdgeSystem::general_model(
 
 std::unique_ptr<semantic::SemanticCodec> SemanticEdgeSystem::clone_general(
     std::size_t domain) {
-  return general_model(domain).clone();
+  auto codec = general_model(domain).clone();
+  // Serving-path models row-partition their batch forwards over the
+  // system pool (null = sequential). The general models and fine-tune
+  // scratch clones stay pool-free: training runs entirely on the calling
+  // thread either way, and results are bit-identical regardless.
+  codec->set_thread_pool(pool_.get());
+  return codec;
 }
 
 bool SemanticEdgeSystem::touch_general_cache(EdgeServerState& state,

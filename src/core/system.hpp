@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "channel/pipeline.hpp"
+#include "common/thread_pool.hpp"
 #include "core/edge_state.hpp"
 #include "edge/network.hpp"
 #include "fl/sync.hpp"
@@ -87,6 +88,17 @@ struct SystemConfig {
   /// "nb" (stateless naive Bayes) or "context" (NB + EWMA/Markov context,
   /// §III-A). Ignored under oracle_selection.
   std::string selector = "nb";
+
+  /// Worker threads for the data-plane parallel sections (the channel
+  /// pipeline's per-message passes and the quantizer's per-row passes in
+  /// transmit_many). 0 — the default — compiles down to today's
+  /// sequential code path: no pool is built and no std::thread is ever
+  /// spawned. Any value N >= 1 builds a common::ThreadPool whose results
+  /// are BIT-IDENTICAL to the sequential path (per-message Rng forks +
+  /// index-ordered stats commit; see README "Threading model"); the
+  /// SEMCACHE_THREADS environment variable overrides a default-0 config
+  /// at build() time (benches and the TSan CI job use it).
+  std::size_t num_threads = 0;
 
   // Edge deployment.
   std::size_t num_edges = 2;
@@ -201,6 +213,9 @@ class SemanticEdgeSystem {
   semantic::SemanticCodec& general_model(std::size_t domain);
   select::DomainSelector& selector() { return *selector_; }
   const semantic::FeatureQuantizer& quantizer() const { return *quantizer_; }
+  /// The data-plane worker pool; nullptr when the resolved num_threads is
+  /// 0 (pure sequential build).
+  common::ThreadPool* thread_pool() { return pool_.get(); }
 
   /// Byte-identity check between the sender-side decoder copy and the
   /// receiver-side decoder replica for a (user, domain) pair.
@@ -251,6 +266,9 @@ class SemanticEdgeSystem {
 
   SystemConfig config_;
   Rng rng_;
+  /// Destroyed after everything that borrows it (pipeline_ holds a
+  /// non-owning pointer); declared early so it outlives those members.
+  std::unique_ptr<common::ThreadPool> pool_;
   text::World world_;
   std::vector<std::shared_ptr<semantic::SemanticCodec>> general_models_;
   std::unique_ptr<select::DomainSelector> selector_;

@@ -17,6 +17,13 @@
 // channel noise keeps the sequential fork discipline: message i (counted
 // across the whole system) forks rng_ with tag 0xC4A2 ^ (i * 2654435761),
 // so batched and sequential runs consume identical noise streams.
+//
+// With SystemConfig::num_threads > 0, the per-row stages of each chunk
+// (quantize, channel pass, dequantize) additionally fan out over the
+// system's worker pool. The forked-RNG discipline makes those rows
+// embarrassingly parallel, so threads=N output is bit-identical to
+// threads=0 (test_transmit_parallel pins the whole matrix); everything
+// stateful stays on the calling thread.
 #include "core/system.hpp"
 
 #include <algorithm>
@@ -189,8 +196,18 @@ void SemanticEdgeSystem::process_domain_group(
   const std::size_t length = config_.codec.sentence_length;
   const std::size_t vocab = config_.codec.meaning_vocab;
 
-  nn::SoftmaxCrossEntropy ce;
-  tensor::Tensor copy_slice;  // one message's decoder-copy logits (L x V)
+  // Per-lane scratch for the parallel outcome assembly: the CE loss object
+  // caches its softmax internally and the logits slice is reused across
+  // messages, so each worker lane owns one of each (pool-slot-indexed —
+  // no shared mutable state crosses workers).
+  struct LaneScratch {
+    tensor::Tensor slice;  // one message's logits (L x V)
+    nn::SoftmaxCrossEntropy ce;
+  };
+  std::vector<LaneScratch> lanes(
+      pool_ ? std::max<std::size_t>(1, pool_->worker_count()) : 1);
+
+  nn::SoftmaxCrossEntropy ce;  // calling-thread fallback path only
   std::vector<std::int32_t> surfaces;
 
   std::size_t pos = 0;
@@ -212,9 +229,18 @@ void SemanticEdgeSystem::process_domain_group(
     }
     // Valid until this encoder's next encode, which happens only after
     // this chunk (the mismatch pass reads it through roundtrip_batch).
+    //
+    // Parallel sections: encode/decode stay batched on the calling thread
+    // (they own per-model Workspace scratch), while the per-row quantize /
+    // channel / dequantize passes fan out over pool_ when one is attached
+    // — each row's work touches only row-owned state plus its own forked
+    // RNG, so the bits are identical on any worker count. All mutation
+    // (buffers, caches, stats, timing-plane scheduling) stays below, on
+    // the calling thread.
     const tensor::Tensor& features =
         sslot.model->encoder().encode_batch(surfaces, chunk);
-    const std::vector<BitVec> payloads = quantizer_->quantize_batch(features);
+    const std::vector<BitVec> payloads =
+        quantizer_->quantize_batch(features, pool_.get());
 
     std::vector<BitVec> received;
     if (cross_edge) {
@@ -228,12 +254,14 @@ void SemanticEdgeSystem::process_domain_group(
     } else {
       received = payloads;
     }
-    const tensor::Tensor rx_features = quantizer_->dequantize_batch(received);
+    const tensor::Tensor rx_features =
+        quantizer_->dequantize_batch(received, pool_.get());
     // Keep the receiver logits alive past the argmax: the mismatch-reuse
     // fast path below reads per-message row slices out of them.
     const tensor::Tensor& rx_logits =
         rslot.model->decoder().decode_logits_batch(rx_features);
-    const std::vector<std::int32_t> decoded = tensor::row_argmax(rx_logits);
+    const std::vector<std::int32_t> decoded =
+        tensor::row_argmax(rx_logits, pool_.get());
 
     // --- Mismatch calculation (③). With the decoder copy the sender can
     // evaluate its own clean quantized features locally; without it, the
@@ -252,7 +280,8 @@ void SemanticEdgeSystem::process_domain_group(
                        config_.mismatch_reuse && replicas_synced;
     const tensor::Tensor* copy_logits = nullptr;
     if (config_.decoder_copy_enabled && !reuse) {
-      const tensor::Tensor clean = quantizer_->roundtrip_batch(features);
+      const tensor::Tensor clean =
+          quantizer_->roundtrip_batch(features, pool_.get());
       // Note: intra-edge, sslot and rslot alias the same decoder; the
       // decoded ids above are already copied out, so overwriting its
       // logits buffer here is safe (rx_logits is not read again on this
@@ -260,8 +289,14 @@ void SemanticEdgeSystem::process_domain_group(
       copy_logits = &sslot.model->decoder().decode_logits_batch(clean);
     }
 
-    // ---- Per-message bookkeeping, in arrival order within the chunk. ----
-    for (std::size_t j = 0; j < chunk; ++j) {
+    // ---- Per-message outcome assembly. Report fields and the mismatch
+    // CE are pure functions of (message, batch outputs), so they fan out
+    // over the pool with the lane scratch above; message j writes only
+    // report j. The reuse fallback for channel-corrupted messages needs a
+    // decoder forward (per-model Workspace), so it is only FLAGGED here
+    // and computed on the calling thread in the commit loop below. ----
+    std::vector<std::uint8_t> wants_copy_fallback(chunk, 0);
+    const auto assemble = [&](std::size_t j, std::size_t lane) {
       const std::size_t idx = indices[pos + j];
       const text::Sentence& message = messages[idx];
       TransmitReport& report = *reports[idx];
@@ -279,38 +314,57 @@ void SemanticEdgeSystem::process_domain_group(
       }
 
       if (config_.decoder_copy_enabled) {
+        LaneScratch& scratch = lanes[lane];
         if (reuse && received[j] == payloads[j]) {
           // Clean payload + synced replicas: rx_logits rows j*L..(j+1)*L
           // are bit-identical to what the decoder copy would produce.
-          copy_slice.resize({length, vocab});
-          std::memcpy(copy_slice.data(), rx_logits.data() + j * length * vocab,
+          scratch.slice.resize({length, vocab});
+          std::memcpy(scratch.slice.data(),
+                      rx_logits.data() + j * length * vocab,
                       length * vocab * sizeof(float));
-          report.mismatch = ce.forward(copy_slice, message.meanings);
+          report.mismatch = scratch.ce.forward(scratch.slice, message.meanings);
         } else if (reuse) {
-          // Channel-corrupted message: evaluate this one clean feature row
-          // through the decoder copy (sslot != rslot here — a corrupted
-          // payload implies a cross-edge channel — so the receiver logits
-          // other messages still slice stay untouched).
-          tensor::Tensor row({1, config_.codec.feature_dim});
-          std::memcpy(row.data(), features.data() + j * row.size(),
-                      row.size() * sizeof(float));
-          const tensor::Tensor clean = quantizer_->roundtrip(row);
-          const tensor::Tensor logits =
-              sslot.model->decoder().decode_logits(clean);
-          report.mismatch = ce.forward(logits, message.meanings);
+          // Channel-corrupted message: needs the decoder copy (sslot !=
+          // rslot here — a corrupted payload implies a cross-edge
+          // channel). Deferred to the calling thread.
+          wants_copy_fallback[j] = 1;
         } else {
-          copy_slice.resize({length, vocab});
-          std::memcpy(copy_slice.data(),
+          scratch.slice.resize({length, vocab});
+          std::memcpy(scratch.slice.data(),
                       copy_logits->data() + j * length * vocab,
                       length * vocab * sizeof(float));
-          report.mismatch = ce.forward(copy_slice, message.meanings);
+          report.mismatch = scratch.ce.forward(scratch.slice, message.meanings);
         }
       } else {
         report.output_return_bytes =
             kHeaderBytes + kTokenBytes * report.decoded_meanings.size();
-        stats_.output_return_bytes += report.output_return_bytes;
         // Error-rate proxy computed from the returned output.
         report.mismatch = 1.0 - report.token_accuracy;
+      }
+    };
+    common::parallel_for_or_inline(pool_.get(), chunk, assemble);
+
+    // ---- Commit, in arrival order within the chunk (all mutation —
+    // fallback decoder passes, buffers, stats — on the calling thread). --
+    for (std::size_t j = 0; j < chunk; ++j) {
+      const std::size_t idx = indices[pos + j];
+      const text::Sentence& message = messages[idx];
+      TransmitReport& report = *reports[idx];
+
+      if (wants_copy_fallback[j]) {
+        // Evaluate this one clean feature row through the decoder copy
+        // (the receiver logits other messages still slice stay untouched;
+        // the assembly join above already consumed them).
+        tensor::Tensor row({1, config_.codec.feature_dim});
+        std::memcpy(row.data(), features.data() + j * row.size(),
+                    row.size() * sizeof(float));
+        const tensor::Tensor clean = quantizer_->roundtrip(row);
+        const tensor::Tensor logits =
+            sslot.model->decoder().decode_logits(clean);
+        report.mismatch = ce.forward(logits, message.meanings);
+      }
+      if (!config_.decoder_copy_enabled) {
+        stats_.output_return_bytes += report.output_return_bytes;
       }
       sslot.buffer->add({message.surface, message.meanings}, report.mismatch);
       stats_.feature_bytes += report.payload_bytes;

@@ -23,7 +23,7 @@ const Tensor& Linear::forward(const Tensor& x) {
                  name_ + ": input shape " + x.shape_string() +
                      " incompatible with weight " + w_.value.shape_string());
   last_input_ = x;
-  affine_into(out_, x, w_.value, b_.value);
+  affine_into(out_, x, w_.value, b_.value, pool_);
   return out_;
 }
 

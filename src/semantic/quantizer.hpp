@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/bits.hpp"
+#include "common/thread_pool.hpp"
 #include "tensor/tensor.hpp"
 
 namespace semcache::semantic {
@@ -30,14 +31,20 @@ class FeatureQuantizer {
 
   // --- Batched row-wise variants (the transmit_many data plane). Row i of
   // every batch call is bit-identical to the single-feature call on row i,
-  // so the batched system path reproduces the sequential one exactly. ---
+  // so the batched system path reproduces the sequential one exactly.
+  // Rows are independent, so a non-null `pool` fans them out across
+  // workers (each row writes only its own output slot — same bits on any
+  // worker count); nullptr keeps the caller-thread loop. ---
 
   /// (N x dims) features -> N payloads; payload i == quantize(row i).
-  std::vector<BitVec> quantize_batch(const tensor::Tensor& features) const;
+  std::vector<BitVec> quantize_batch(const tensor::Tensor& features,
+                                     common::ThreadPool* pool = nullptr) const;
   /// N payloads -> (N x dims) reconstructions; row i == dequantize(bits i).
-  tensor::Tensor dequantize_batch(const std::vector<BitVec>& payloads) const;
+  tensor::Tensor dequantize_batch(const std::vector<BitVec>& payloads,
+                                  common::ThreadPool* pool = nullptr) const;
   /// Row-wise quantize-then-dequantize of an (N x dims) feature batch.
-  tensor::Tensor roundtrip_batch(const tensor::Tensor& features) const;
+  tensor::Tensor roundtrip_batch(const tensor::Tensor& features,
+                                 common::ThreadPool* pool = nullptr) const;
 
   std::size_t dims() const { return dims_; }
   unsigned bits_per_dim() const { return bits_; }

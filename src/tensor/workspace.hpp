@@ -9,6 +9,8 @@
 // Slots are plain indices so a module can enumerate its intermediates in an
 // enum and keep the mapping readable. A workspace is single-owner state
 // (not thread-safe); share one per model instance, not across threads.
+// Parallel sections that need per-worker scratch take clone()s — copying
+// is deleted outright so two owners can never silently alias one arena.
 #pragma once
 
 #include <cstddef>
@@ -21,6 +23,37 @@ namespace semcache::tensor {
 
 class Workspace {
  public:
+  Workspace() = default;
+  // Non-copyable by design (an accidental copy would be a fresh empty-ish
+  // arena at best and shared storage at worst); explicitly deleted so the
+  // intent survives refactors. Moves transfer the slots — heap-anchored,
+  // so references handed out by acquire() stay valid across a move.
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+  Workspace(Workspace&&) noexcept = default;
+  Workspace& operator=(Workspace&&) noexcept = default;
+
+  /// Independent arena with the same slot table and per-slot reserved
+  /// capacities (contents unspecified, like any acquire()): the factory
+  /// for per-worker instances on parallel sections — a clone warmed from a
+  /// warmed source runs allocation-free from its first use and shares no
+  /// storage with the source.
+  Workspace clone() const {
+    Workspace w;
+    w.slots_.reserve(slots_.size());
+    for (const auto& t : slots_) {
+      if (t) {
+        auto fresh = std::make_unique<Tensor>();
+        fresh->resize({t->capacity()});  // reproduce the high-water mark
+        fresh->resize(t->shape());
+        w.slots_.push_back(std::move(fresh));
+      } else {
+        w.slots_.push_back(nullptr);
+      }
+    }
+    return w;
+  }
+
   /// Scratch tensor for `slot`, resized to `shape`. Contents are
   /// unspecified — callers must fully overwrite (the `_into` kernels do).
   /// Grows the slot table and each slot's storage high-water mark on first

@@ -1,0 +1,288 @@
+// Threads-vs-sequential determinism for the worker-pool data plane.
+//
+// Four systems are built from the same seed with num_threads 0 (the
+// sequential reference), 1, 2, and 4, and driven in lockstep through the
+// same case matrix as test_transmit_batch: cross-edge batches with
+// mid-batch fine-tunes, mixed-domain grouping, the intra-edge no-channel
+// path, and a hostile uncoded 0 dB channel. Every per-message
+// TransmitReport field (mismatch losses and latencies compared as exact
+// doubles), the aggregate SystemStats, the sender-side buffer state, and
+// the decoder replica weights must be BYTE-IDENTICAL across all thread
+// counts — the pool is a wall-clock lever only, never a semantic change,
+// and the result must not depend on worker count or scheduling.
+//
+// Note on SEMCACHE_THREADS: build() lets the env fill in a default-0
+// config (that is how the TSan CI job threads every suite), so this suite
+// clears the variable up front — its "threads = 0" reference must really
+// be the sequential path.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "test_util.hpp"
+
+namespace semcache::core {
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {0, 1, 2, 4};
+constexpr std::size_t kVariants = std::size(kThreadCounts);
+
+SystemConfig variant_config(std::uint64_t seed, std::size_t num_threads) {
+  SystemConfig config = test::tiny_system_config(seed);
+  // Determinism needs lightly trained codecs, not accurate ones (the same
+  // tier-1 budget test_transmit_batch uses).
+  config.pretrain.steps = 150;
+  config.buffer_trigger = 4;  // updates fire mid-batch
+  config.buffer_capacity = 32;
+  config.finetune_epochs = 2;
+  config.num_edges = 2;
+  config.num_threads = num_threads;
+  return config;
+}
+
+void expect_reports_equal(const TransmitReport& ref, const TransmitReport& got,
+                          const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(ref.domain_true, got.domain_true);
+  EXPECT_EQ(ref.domain_selected, got.domain_selected);
+  EXPECT_EQ(ref.selection_correct, got.selection_correct);
+  EXPECT_EQ(ref.decoded_meanings, got.decoded_meanings);
+  EXPECT_EQ(ref.token_accuracy, got.token_accuracy);  // exact doubles
+  EXPECT_EQ(ref.exact, got.exact);
+  EXPECT_EQ(ref.mismatch, got.mismatch);
+  EXPECT_EQ(ref.payload_bytes, got.payload_bytes);
+  EXPECT_EQ(ref.airtime_bits, got.airtime_bits);
+  EXPECT_EQ(ref.sync_bytes, got.sync_bytes);
+  EXPECT_EQ(ref.output_return_bytes, got.output_return_bytes);
+  EXPECT_EQ(ref.triggered_update, got.triggered_update);
+  EXPECT_EQ(ref.established_user_model, got.established_user_model);
+  EXPECT_EQ(ref.general_cache_hit, got.general_cache_hit);
+  EXPECT_EQ(ref.latency_s, got.latency_s);
+}
+
+void expect_stats_equal(const SystemStats& ref, const SystemStats& got) {
+  EXPECT_EQ(ref.messages, got.messages);
+  EXPECT_EQ(ref.feature_bytes, got.feature_bytes);
+  EXPECT_EQ(ref.uplink_bytes, got.uplink_bytes);
+  EXPECT_EQ(ref.downlink_bytes, got.downlink_bytes);
+  EXPECT_EQ(ref.sync_bytes, got.sync_bytes);
+  EXPECT_EQ(ref.output_return_bytes, got.output_return_bytes);
+  EXPECT_EQ(ref.updates, got.updates);
+  EXPECT_EQ(ref.selection_errors, got.selection_errors);
+  EXPECT_EQ(ref.sync_drops, got.sync_drops);
+  EXPECT_EQ(ref.full_resyncs, got.full_resyncs);
+  EXPECT_EQ(ref.resync_bytes, got.resync_bytes);
+}
+
+/// Sender-side buffer + slot + replica state of (user, domain) must match
+/// the reference system byte-for-byte after every scenario.
+void expect_slot_state_equal(SemanticEdgeSystem& ref, SemanticEdgeSystem& got,
+                             const std::string& user, std::size_t domain,
+                             std::size_t sender_edge,
+                             std::size_t receiver_edge) {
+  UserModelSlot* rs = ref.edge_state(sender_edge).find_slot(user, domain);
+  UserModelSlot* gs = got.edge_state(sender_edge).find_slot(user, domain);
+  ASSERT_EQ(rs == nullptr, gs == nullptr);
+  if (rs == nullptr) return;
+  EXPECT_EQ(rs->send_version, gs->send_version);
+  ASSERT_NE(rs->buffer, nullptr);
+  ASSERT_NE(gs->buffer, nullptr);
+  EXPECT_EQ(rs->buffer->size(), gs->buffer->size());
+  EXPECT_EQ(rs->buffer->total_added(), gs->buffer->total_added());
+  EXPECT_EQ(rs->buffer->adds_until_ready(), gs->buffer->adds_until_ready());
+  EXPECT_EQ(rs->buffer->mean_mismatch(), gs->buffer->mean_mismatch());
+  // Sender-side user model weights are byte-identical across systems...
+  nn::ParameterSet rp = rs->model->parameters();
+  nn::ParameterSet gp = gs->model->parameters();
+  EXPECT_TRUE(rp.values_equal(gp));
+  // ...and each system's replica-sync verdict agrees with the reference.
+  EXPECT_EQ(ref.replicas_in_sync(user, domain, sender_edge, receiver_edge),
+            got.replicas_in_sync(user, domain, sender_edge, receiver_edge));
+}
+
+// Systems are shared across the suite and driven through the SAME
+// operation sequence, so the lockstep invariant (identical state, RNG
+// streams, and message draws) holds from test to test.
+class TransmitParallelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // The threads=0 reference must be genuinely sequential even when the
+    // environment (e.g. the TSan CI job) threads default-0 configs.
+    unsetenv("SEMCACHE_THREADS");
+    for (std::size_t v = 0; v < kVariants; ++v) {
+      systems_[v] =
+          SemanticEdgeSystem::build(variant_config(1443, kThreadCounts[v]))
+              .release();
+      systems_[v]->register_user("a", 0, nullptr);
+      systems_[v]->register_user("b", 1, nullptr);
+      systems_[v]->register_user("c", 0, nullptr);  // same edge as "a"
+    }
+    ASSERT_EQ(systems_[0]->thread_pool(), nullptr);
+    ASSERT_NE(systems_[3]->thread_pool(), nullptr);
+    ASSERT_EQ(systems_[3]->thread_pool()->worker_count(), 4u);
+  }
+  static void TearDownTestSuite() {
+    for (auto*& system : systems_) {
+      delete system;
+      system = nullptr;
+    }
+  }
+
+  /// Draw the same message stream from every system (their rng_ streams
+  /// advance in lockstep); domains[i] picks each message's true domain.
+  static std::vector<std::vector<text::Sentence>> sample_lockstep_messages(
+      const std::string& user, const std::vector<std::size_t>& domains) {
+    std::vector<std::vector<text::Sentence>> drawn(kVariants);
+    for (const std::size_t d : domains) {
+      for (std::size_t v = 0; v < kVariants; ++v) {
+        drawn[v].push_back(systems_[v]->sample_message(user, d));
+        EXPECT_EQ(drawn[v].back().surface, drawn[0].back().surface);
+        EXPECT_EQ(drawn[v].back().meanings, drawn[0].back().meanings);
+      }
+    }
+    return drawn;
+  }
+
+  /// Run the same batch through every system's transmit_many and demand
+  /// reports, stats, and (user, domain) slot state identical to the
+  /// threads = 0 reference.
+  static void run_and_compare(const std::string& sender,
+                              const std::string& receiver,
+                              std::vector<std::vector<text::Sentence>> drawn,
+                              std::size_t domain) {
+    const std::size_t n = drawn[0].size();
+    std::vector<std::vector<TransmitReport>> reports(
+        kVariants, std::vector<TransmitReport>(n));
+    for (std::size_t v = 0; v < kVariants; ++v) {
+      std::vector<int> seen(n, 0);
+      systems_[v]->transmit_many(
+          sender, receiver, std::move(drawn[v]),
+          [&, v](std::size_t i, TransmitReport r) {
+            reports[v][i] = std::move(r);
+            ++seen[i];
+          });
+      systems_[v]->simulator().run();
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(seen[i], 1) << "threads " << kThreadCounts[v]
+                              << " completion " << i;
+      }
+    }
+    const std::size_t sender_edge = systems_[0]->user(sender).edge_index;
+    const std::size_t receiver_edge = systems_[0]->user(receiver).edge_index;
+    for (std::size_t v = 1; v < kVariants; ++v) {
+      const std::string label = "threads " + std::to_string(kThreadCounts[v]);
+      for (std::size_t i = 0; i < n; ++i) {
+        expect_reports_equal(reports[0][i], reports[v][i],
+                             label + " message " + std::to_string(i));
+      }
+      expect_stats_equal(systems_[0]->stats(), systems_[v]->stats());
+      expect_slot_state_equal(*systems_[0], *systems_[v], sender, domain,
+                              sender_edge, receiver_edge);
+    }
+  }
+
+  static SemanticEdgeSystem* systems_[kVariants];
+};
+
+SemanticEdgeSystem* TransmitParallelTest::systems_[kVariants] = {};
+
+TEST_F(TransmitParallelTest, CrossEdgeBatchWithMidBatchUpdates) {
+  // 9 same-domain messages with trigger 4: at least two fine-tunes fire
+  // mid-batch, so the pooled path must reproduce chunk splits, update
+  // weights, and post-update encodes exactly.
+  const auto before_updates = systems_[0]->stats().updates;
+  run_and_compare("a", "b",
+                  sample_lockstep_messages("a", {0, 0, 0, 0, 0, 0, 0, 0, 0}),
+                  /*domain=*/0);
+  EXPECT_GT(systems_[0]->stats().updates, before_updates);
+}
+
+TEST_F(TransmitParallelTest, MixedDomainGrouping) {
+  run_and_compare("a", "b",
+                  sample_lockstep_messages("a", {0, 1, 0, 1, 1, 0, 1, 0}),
+                  /*domain=*/1);
+  for (std::size_t v = 1; v < kVariants; ++v) {
+    EXPECT_EQ(systems_[0]->edge_state(0).slot_count(),
+              systems_[v]->edge_state(0).slot_count());
+  }
+}
+
+TEST_F(TransmitParallelTest, IntraEdgeSkipsChannel) {
+  // Sender and receiver share edge 0: the channel pool section is never
+  // entered, but the quantizer's pooled row passes still run.
+  run_and_compare("a", "c", sample_lockstep_messages("a", {0, 0, 0, 0, 0, 0}),
+                  /*domain=*/0);
+}
+
+TEST(TransmitParallelNoisy, CorruptedPayloadsStayBitIdentical) {
+  // Uncoded at 0 dB flips ~8% of payload bits: essentially every message
+  // arrives corrupted, driving the mismatch-reuse fallback (a per-message
+  // decoder-copy pass) while the pool carries the noisy channel passes.
+  // The heavy per-message noise draws make this the strongest RNG-stream
+  // isolation case: any cross-worker draw would scramble the bits.
+  unsetenv("SEMCACHE_THREADS");
+  const std::size_t n = 7;  // crosses the trigger: updates fire mid-batch
+  std::vector<std::unique_ptr<SemanticEdgeSystem>> systems;
+  std::vector<std::vector<text::Sentence>> drawn(kVariants);
+  for (std::size_t v = 0; v < kVariants; ++v) {
+    SystemConfig config = variant_config(1443, kThreadCounts[v]);
+    config.channel.code = "uncoded";
+    config.channel.snr_db = 0.0;
+    systems.push_back(SemanticEdgeSystem::build(config));
+    systems[v]->register_user("a", 0, nullptr);
+    systems[v]->register_user("b", 1, nullptr);
+    for (std::size_t i = 0; i < n; ++i) {
+      drawn[v].push_back(systems[v]->sample_message("a", 0));
+      ASSERT_EQ(drawn[v].back().surface, drawn[0][i].surface);
+    }
+  }
+  std::vector<std::vector<TransmitReport>> reports(
+      kVariants, std::vector<TransmitReport>(n));
+  for (std::size_t v = 0; v < kVariants; ++v) {
+    systems[v]->transmit_many("a", "b", std::move(drawn[v]),
+                              [&, v](std::size_t i, TransmitReport r) {
+                                reports[v][i] = std::move(r);
+                              });
+    systems[v]->simulator().run();
+  }
+  bool saw_decode_error = false;
+  for (std::size_t v = 1; v < kVariants; ++v) {
+    for (std::size_t i = 0; i < n; ++i) {
+      expect_reports_equal(reports[0][i], reports[v][i],
+                           "threads " + std::to_string(kThreadCounts[v]) +
+                               " noisy message " + std::to_string(i));
+    }
+    expect_stats_equal(systems[0]->stats(), systems[v]->stats());
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    saw_decode_error = saw_decode_error || !reports[0][i].exact;
+  }
+  EXPECT_TRUE(saw_decode_error);               // the channel really bit
+  EXPECT_GT(systems[0]->stats().updates, 0u);  // fine-tunes exercised
+}
+
+TEST_F(TransmitParallelTest, SingleMessageRunsInlineAndMatches) {
+  // N = 1 short-circuits every parallel section (count <= 1 runs on the
+  // calling thread) yet must keep the lockstep mirror intact.
+  auto drawn = sample_lockstep_messages("a", {1});
+  std::vector<TransmitReport> reports(kVariants);
+  for (std::size_t v = 0; v < kVariants; ++v) {
+    systems_[v]->transmit_many("a", "b", {drawn[v][0]},
+                               [&, v](std::size_t i, TransmitReport r) {
+                                 EXPECT_EQ(i, 0u);
+                                 reports[v] = std::move(r);
+                               });
+    systems_[v]->simulator().run();
+  }
+  for (std::size_t v = 1; v < kVariants; ++v) {
+    expect_reports_equal(reports[0], reports[v],
+                         "threads " + std::to_string(kThreadCounts[v]));
+    expect_stats_equal(systems_[0]->stats(), systems_[v]->stats());
+  }
+}
+
+}  // namespace
+}  // namespace semcache::core
