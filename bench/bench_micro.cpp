@@ -304,6 +304,94 @@ BENCHMARK(BM_TransmitBatchThreaded)
     ->Args({4, 8})
     ->Args({4, 32});
 
+// Cross-pair parallel serving: P independent user pairs (distinct
+// senders, alternating cross-edge directions) each ship an 8-message
+// batch as ONE transmit_pairs wave (args: {threads, pairs}). threads=0
+// is the sequential reference; on a multi-core host the threads=4 row
+// over the threads=0 row at the same pair count is the wall-clock
+// speedup of the cross-pair layer (the lanes are truly independent, so
+// this is the row the CI perf plane gates on). Results are bit-identical
+// across rows by construction (test_serve_pairs).
+static void BM_ServePairsThreaded(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const auto pairs = static_cast<std::size_t>(state.range(1));
+  constexpr std::size_t kPerPair = 8;
+  struct Setup {
+    core::SemanticEdgeSystem* system;
+    std::vector<text::Sentence> messages;  // one lockstep draw, reused
+  };
+  static auto* setups = new std::map<std::size_t, Setup>();
+  if (!setups->contains(threads)) {
+    core::SystemConfig config;
+    config.seed = 92;
+    config.world.num_domains = 2;
+    config.world.sentence_length = 8;
+    config.codec.embed_dim = 20;
+    config.codec.feature_dim = 16;
+    config.codec.hidden_dim = 48;
+    config.pretrain.steps = 200;  // throughput bench: accuracy irrelevant
+    config.oracle_selection = true;
+    config.buffer_trigger = 64;  // > per-pair batch: no fine-tune in loop
+    config.buffer_capacity = 64;
+    config.num_threads = threads;
+    auto built = core::SemanticEdgeSystem::build(config);
+    for (std::size_t p = 0; p < 4; ++p) {
+      built->register_user("s" + std::to_string(p), p % 2, nullptr);
+      built->register_user("r" + std::to_string(p), (p + 1) % 2, nullptr);
+    }
+    Setup setup;
+    setup.messages.reserve(kPerPair);
+    for (std::size_t i = 0; i < kPerPair; ++i) {
+      setup.messages.push_back(built->sample_message("s0", 0));
+    }
+    setup.system = built.release();
+    (*setups)[threads] = std::move(setup);
+  }
+  Setup& setup = (*setups)[threads];
+  core::SemanticEdgeSystem* system = setup.system;
+
+  auto make_wave = [&] {
+    std::vector<core::SemanticEdgeSystem::PairBatch> wave(pairs);
+    for (std::size_t p = 0; p < pairs; ++p) {
+      wave[p].sender = "s" + std::to_string(p);
+      wave[p].receiver = "r" + std::to_string(p);
+      wave[p].messages = setup.messages;
+    }
+    return wave;
+  };
+  // Warm every pair's slots (slot establishment is a one-off).
+  system->transmit_pairs(make_wave(),
+                         [](std::size_t, std::size_t, core::TransmitReport) {});
+  system->simulator().run();
+  auto clear_buffers = [&] {
+    for (std::size_t p = 0; p < pairs; ++p) {
+      const std::size_t edge = p % 2;
+      system->edge_state(edge)
+          .find_slot("s" + std::to_string(p), 0)
+          ->buffer->clear();
+    }
+  };
+  clear_buffers();
+
+  for (auto _ : state) {
+    system->transmit_pairs(
+        make_wave(), [](std::size_t, std::size_t, core::TransmitReport) {});
+    system->simulator().run();
+    state.PauseTiming();
+    clear_buffers();  // keep the transaction rings from tripping updates
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pairs * kPerPair));
+}
+BENCHMARK(BM_ServePairsThreaded)
+    ->Args({0, 2})
+    ->Args({0, 4})
+    ->Args({1, 4})
+    ->Args({2, 4})
+    ->Args({4, 2})
+    ->Args({4, 4});
+
 static void BM_ViterbiDecode(benchmark::State& state) {
   const auto bits = static_cast<std::size_t>(state.range(0));
   Rng rng(5);

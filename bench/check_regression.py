@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for the pinned hot-path benches.
+
+Compares a bench_micro JSON capture (Google Benchmark format, as written
+by bench/run_all.sh into BENCH_bench_micro.json) against the multi-core
+baseline recorded in bench/BASELINE.json under "regression_gate", and
+fails when a pinned bench regresses by more than the threshold, or when
+the cross-pair serving wave stops showing a wall speedup over its
+sequential row.
+
+The gate is CONTEXT-AWARE: baselines are captured on the CI runner class
+(ci_micro_ns, with the capturing host's core count alongside), and the
+gate disarms itself — loudly, exit 0 — when the current host has fewer
+cores than `min_cores` (wall numbers from a starved pool are noise) or
+when a pinned bench has no recorded baseline yet (bootstrap: record one
+with --record from a trusted run's artifact).
+
+Override: a run with SEMCACHE_PERF_OVERRIDE=1 in the environment (CI
+sets it when the PR carries the `perf-override` label) or --override
+reports regressions as warnings and exits 0 — for PRs that knowingly
+trade the pinned paths, with the expectation that BASELINE.json is
+refreshed in the same change.
+
+Usage:
+  check_regression.py --current build/bench_out/BENCH_bench_micro.json
+  check_regression.py --current <capture> --record   # refresh baseline
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_real_times(capture_path):
+    """name -> real_time in ns from a Google Benchmark JSON capture."""
+    with open(capture_path) as f:
+        doc = json.load(f)
+    times = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue  # skip aggregates; the gate compares raw runs
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+        if scale is None:
+            continue
+        times[bench["name"]] = float(bench["real_time"]) * scale
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True,
+                        help="bench_micro JSON capture to gate")
+    parser.add_argument("--baseline", default=os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "BASELINE.json"))
+    parser.add_argument("--override", action="store_true",
+                        help="report regressions but exit 0")
+    parser.add_argument("--record", action="store_true",
+                        help="write the current pinned/speedup numbers into "
+                             "the baseline's ci_micro_ns and exit")
+    args = parser.parse_args()
+
+    override = args.override or os.environ.get(
+        "SEMCACHE_PERF_OVERRIDE", "") == "1"
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    gate = baseline.get("regression_gate")
+    if not gate:
+        print("check_regression: baseline has no regression_gate section; "
+              "nothing to do")
+        return 0
+
+    current = load_real_times(args.current)
+    threshold = float(gate.get("threshold", 0.25))
+    min_cores = int(gate.get("min_cores", 4))
+    cores = os.cpu_count() or 1
+    recorded = gate.get("ci_micro_ns", {})
+    recorded_cores = recorded.get("context", {}).get("host_cores")
+
+    if args.record:
+        if cores < min_cores:
+            print(f"check_regression: refusing --record on a {cores}-core "
+                  f"host (min_cores={min_cores}): a starved-pool baseline "
+                  f"would silently disarm the gate on every real runner. "
+                  f"Record from the CI runner class's artifact on a matching "
+                  f"host.")
+            return 1
+        values = {}
+        names = list(gate.get("pinned", []))
+        for pair in gate.get("speedup", []):
+            names += [pair["sequential"], pair["threaded"]]
+        missing = [n for n in names if n not in current]
+        if missing:
+            print("check_regression: capture lacks benches: "
+                  + ", ".join(missing))
+            return 1
+        for name in names:
+            values[name] = round(current[name], 1)
+        gate["ci_micro_ns"] = {
+            "context": {"host_cores": cores,
+                        "source": os.path.basename(args.current)},
+            "values": values,
+        }
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=1)
+            f.write("\n")
+        print(f"check_regression: recorded {len(values)} baseline rows "
+              f"(host_cores={cores}) into {args.baseline}")
+        return 0
+
+    if cores < min_cores:
+        print(f"check_regression: host has {cores} core(s) < min_cores="
+              f"{min_cores}; wall-clock gate disarmed (pool-starved numbers "
+              f"are noise)")
+        return 0
+
+    failures = []
+    warnings = []
+
+    # ---- pinned-bench wall regression ----
+    values = recorded.get("values", {})
+    for name in gate.get("pinned", []):
+        if name not in current:
+            warnings.append(f"{name}: not present in this capture")
+            continue
+        if name not in values:
+            warnings.append(f"{name}: no CI baseline recorded yet — "
+                            f"bootstrap by running --record on a trusted "
+                            f"capture from this runner class")
+            continue
+        if recorded_cores is not None and recorded_cores != cores:
+            warnings.append(f"{name}: baseline captured on "
+                            f"{recorded_cores}-core host, this host has "
+                            f"{cores}; skipping (refresh with --record)")
+            continue
+        base_ns = float(values[name])
+        cur_ns = current[name]
+        delta = cur_ns / base_ns - 1.0
+        line = (f"{name}: {cur_ns / 1e3:.1f}us vs baseline "
+                f"{base_ns / 1e3:.1f}us ({delta:+.1%}, threshold "
+                f"+{threshold:.0%})")
+        if delta > threshold:
+            failures.append(line)
+        else:
+            print(f"  ok   {line}")
+
+    # ---- cross-pair wall-speedup assertion (within this capture) ----
+    # Armed only once a CI baseline exists with matching context: before
+    # the first --record the multi-core win is unproven (the gate ships
+    # armed-but-empty), and a congested bootstrap run must not fail CI.
+    for pair in gate.get("speedup", []):
+        seq, thr = pair["sequential"], pair["threaded"]
+        min_ratio = float(pair.get("min_ratio", 1.0))
+        if not values:
+            warnings.append(f"speedup {seq} / {thr}: disarmed until a CI "
+                            f"baseline is recorded (--record)")
+            continue
+        if recorded_cores is not None and recorded_cores != cores:
+            warnings.append(f"speedup {seq} / {thr}: baseline context is "
+                            f"{recorded_cores}-core, this host has {cores}; "
+                            f"skipping")
+            continue
+        if seq not in current or thr not in current:
+            warnings.append(f"speedup {seq} / {thr}: rows missing from "
+                            f"capture")
+            continue
+        ratio = current[seq] / current[thr]
+        line = (f"speedup {seq} over {thr}: {ratio:.2f}x "
+                f"(required > {min_ratio:.2f}x)")
+        if ratio <= min_ratio:
+            failures.append(line)
+        else:
+            print(f"  ok   {line}")
+
+    for line in warnings:
+        print(f"  warn {line}")
+    if failures:
+        verb = "WARN (override active)" if override else "FAIL"
+        for line in failures:
+            print(f"  {verb} {line}")
+        if override:
+            print("check_regression: override engaged (perf-override label "
+                  "/ SEMCACHE_PERF_OVERRIDE=1); remember to refresh "
+                  "BASELINE.json if this change is intentional")
+            return 0
+        print("check_regression: perf gate failed — investigate, or apply "
+              "the documented override (PR label `perf-override`) and "
+              "refresh bench/BASELINE.json via --record")
+        return 1
+    print("check_regression: perf gate clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

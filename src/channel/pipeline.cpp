@@ -28,6 +28,12 @@ BitVec ChannelPipeline::transmit(const BitVec& payload, Rng& rng) {
 
 std::vector<BitVec> ChannelPipeline::transmit_batch(
     const std::vector<BitVec>& payloads, std::span<Rng> rngs) {
+  return transmit_batch_collect(payloads, rngs, stats_, pool_);
+}
+
+std::vector<BitVec> ChannelPipeline::transmit_batch_collect(
+    const std::vector<BitVec>& payloads, std::span<Rng> rngs,
+    PipelineStats& sink, common::ThreadPool* pool) const {
   SEMCACHE_CHECK(payloads.size() == rngs.size(),
                  "pipeline: transmit_batch needs one rng per payload (" +
                      std::to_string(payloads.size()) + " payloads, " +
@@ -42,7 +48,7 @@ std::vector<BitVec> ChannelPipeline::transmit_batch(
   // index instead of letting the fan-out rethrow: the stats commit below
   // must replay the sequential order (messages before the first throwing
   // index count, the rest do not).
-  common::parallel_for_or_inline(pool_, n, [&](std::size_t i, std::size_t) {
+  common::parallel_for_or_inline(pool, n, [&](std::size_t i, std::size_t) {
     try {
       received[i] = transmit_one(payloads[i], rngs[i], airtime[i]);
     } catch (...) {
@@ -51,11 +57,17 @@ std::vector<BitVec> ChannelPipeline::transmit_batch(
   });
   for (std::size_t i = 0; i < n; ++i) {
     if (errors[i]) std::rethrow_exception(errors[i]);
-    stats_.payload_bits += payloads[i].size();
-    stats_.airtime_bits += airtime[i];
-    stats_.messages += 1;
+    sink.payload_bits += payloads[i].size();
+    sink.airtime_bits += airtime[i];
+    sink.messages += 1;
   }
   return received;
+}
+
+void ChannelPipeline::fold_stats(const PipelineStats& delta) {
+  stats_.payload_bits += delta.payload_bits;
+  stats_.airtime_bits += delta.airtime_bits;
+  stats_.messages += delta.messages;
 }
 
 BitVec ChannelPipeline::transmit_one(const BitVec& payload, Rng& rng,

@@ -45,6 +45,17 @@ class ChannelPipeline {
   std::vector<BitVec> transmit_batch(const std::vector<BitVec>& payloads,
                                      std::span<Rng> rngs);
 
+  /// transmit_batch with the accounting redirected into `sink` instead of
+  /// the pipeline's own stats, leaving the pipeline const — the form the
+  /// cross-pair serving tasks use: several pairs share one pipeline, each
+  /// collects into a pair-local sink on its worker, and the caller folds
+  /// the sinks back in pair order after the join (fold_stats). Bits and
+  /// accounting are identical to transmit_batch; on an error, `sink`
+  /// holds the pre-throw prefix exactly as member stats would.
+  std::vector<BitVec> transmit_batch_collect(
+      const std::vector<BitVec>& payloads, std::span<Rng> rngs,
+      PipelineStats& sink, common::ThreadPool* pool) const;
+
   /// Attach a worker pool for transmit_batch (non-owning; nullptr detaches
   /// and restores the pure sequential loop). The pool only affects wall
   /// clock, never bits or stats.
@@ -52,6 +63,9 @@ class ChannelPipeline {
 
   const PipelineStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
+  /// Merge a collected sink into the pipeline's own stats (the commit
+  /// half of transmit_batch_collect).
+  void fold_stats(const PipelineStats& delta);
   const ChannelCode& code() const { return *code_; }
   std::string description() const;
 

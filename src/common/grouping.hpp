@@ -1,0 +1,44 @@
+// First-appearance grouping — the one partition shape the serving and
+// simulation layers keep needing: batch messages by selected domain,
+// wave pairs into lanes by sending user, concurrent events into lanes by
+// key. Groups appear in the order their key is first seen and preserve
+// the original index order inside each group, which is exactly what the
+// determinism contracts lean on (commit order == first-appearance order
+// == the order a sequential loop would discover the keys).
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace semcache::common {
+
+template <typename Key>
+struct Grouped {
+  std::vector<Key> keys;  ///< keys[g] is the shared key of groups[g]
+  std::vector<std::vector<std::size_t>> groups;
+};
+
+/// Partition indices [0, count) into groups keyed by key_of(i). Linear
+/// scan over the keys seen so far: serving-layer group counts (domains,
+/// senders, lanes) are tiny, so this beats hashing and keeps the
+/// first-appearance order free.
+template <typename KeyFn>
+auto group_by_first_appearance(std::size_t count, const KeyFn& key_of) {
+  using Key = std::decay_t<decltype(key_of(std::size_t{0}))>;
+  Grouped<Key> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    decltype(auto) key = key_of(i);
+    std::size_t g = 0;
+    while (g < out.keys.size() && !(out.keys[g] == key)) ++g;
+    if (g == out.keys.size()) {
+      out.keys.push_back(std::forward<decltype(key)>(key));
+      out.groups.emplace_back();
+    }
+    out.groups[g].push_back(i);
+  }
+  return out;
+}
+
+}  // namespace semcache::common

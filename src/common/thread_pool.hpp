@@ -99,10 +99,19 @@ class ThreadPool {
 /// shares; the template keeps the ubiquitous null-pool path free of
 /// std::function construction, which parallel_for's signature would pay
 /// even for its internal inline fallback.
+///
+/// Nested engagement: when the caller is ITSELF a pool worker (a
+/// cross-pair serving task, say, reaching a row-partitioned kernel whose
+/// model still holds the system pool), the fan-out degrades to the inline
+/// loop instead of tripping parallel_for's nested-fan-out rejection. The
+/// caller already owns a full worker, and inline execution is
+/// bit-identical to pooled execution by the disjoint-writes contract, so
+/// this is purely a scheduling choice.
 template <typename Fn>
 void parallel_for_or_inline(ThreadPool* pool, std::size_t count,
                             const Fn& body) {
-  if (pool != nullptr && pool->worker_count() > 0 && count > 1) {
+  if (pool != nullptr && pool->worker_count() > 0 && count > 1 &&
+      !ThreadPool::on_worker_thread()) {
     pool->parallel_for(count, body);
   } else {
     for (std::size_t i = 0; i < count; ++i) body(i, std::size_t{0});

@@ -1,0 +1,70 @@
+#include "core/dispatcher.hpp"
+
+#include "common/check.hpp"
+
+namespace semcache::core {
+
+void ParallelDispatcher::enqueue(const std::string& sender,
+                                 const std::string& receiver,
+                                 std::vector<text::Sentence> messages) {
+  // Fail fast: admit the batch NOW so flush() can never throw after the
+  // queue has been moved into transmit_pairs — a rejected enqueue leaves
+  // everything already queued intact and servable.
+  {
+    SemanticEdgeSystem::PairBatch probe;
+    probe.sender = sender;
+    probe.receiver = receiver;
+    probe.messages = std::move(messages);
+    system_.validate_pair_batch(probe);
+    messages = std::move(probe.messages);
+  }
+  for (auto& batch : queue_) {
+    if (batch.sender == sender && batch.receiver == receiver) {
+      batch.messages.insert(batch.messages.end(),
+                            std::make_move_iterator(messages.begin()),
+                            std::make_move_iterator(messages.end()));
+      return;
+    }
+  }
+  SemanticEdgeSystem::PairBatch batch;
+  batch.sender = sender;
+  batch.receiver = receiver;
+  batch.messages = std::move(messages);
+  queue_.push_back(std::move(batch));
+}
+
+std::size_t ParallelDispatcher::flush(SemanticEdgeSystem::PairDone on_done) {
+  if (queue_.empty()) return 0;
+  // The only transmit_pairs precondition enqueue cannot vouch for; check
+  // it before the queue moves out so a bad call cannot lose queued work.
+  SEMCACHE_CHECK(on_done != nullptr, "dispatcher: flush with null completion");
+  const std::size_t pairs = queue_.size();
+  system_.transmit_pairs(std::move(queue_), std::move(on_done));
+  queue_.clear();  // moved-from: restore the well-defined empty state
+  ++waves_;
+  pairs_served_ += pairs;
+  return pairs;
+}
+
+std::size_t ParallelDispatcher::transmit_at(
+    edge::SimTime t, const std::string& sender, const std::string& receiver,
+    std::vector<text::Sentence> messages,
+    SemanticEdgeSystem::PairDone on_done) {
+  SemanticEdgeSystem::PairBatch batch;
+  batch.sender = sender;
+  batch.receiver = receiver;
+  batch.messages = std::move(messages);
+  // Fail fast at schedule time (prepare_pair re-validates at fire time).
+  system_.validate_pair_batch(batch);
+  const std::size_t index = scheduled_++;
+  system_.transmit_pairs_at(t, std::move(batch), std::move(on_done), index);
+  return index;
+}
+
+std::size_t ParallelDispatcher::queued_messages() const {
+  std::size_t n = 0;
+  for (const auto& batch : queue_) n += batch.messages.size();
+  return n;
+}
+
+}  // namespace semcache::core

@@ -1,0 +1,76 @@
+// ParallelDispatcher — the front door for cross-pair parallel serving.
+//
+// The paper's data plane serves many independent user pairs per edge
+// (Fig. 1); the dispatcher collects their ready-to-serve transmissions and
+// hands them to the system as ONE wave, so pairs with distinct senders run
+// their data planes concurrently on common::ThreadPool while everything
+// they share (selector, LRU caches, stats, the event loop) keeps its
+// sequential order. Two modes:
+//
+//  * enqueue() + flush(): accumulate pair batches (merged per (sender,
+//    receiver) pair) and serve them immediately as one
+//    SemanticEdgeSystem::transmit_pairs wave.
+//  * transmit_at(): schedule a pair's messages for a simulated send time;
+//    all pairs landing on the same timestamp form one concurrent wave in
+//    the event loop (edge::Simulator's deterministic parallel phase) when
+//    the simulation reaches it — the open-loop (E7/E10-style) shape.
+//
+// Determinism: both modes inherit transmit_pairs' contract — results are
+// byte-identical to num_threads = 0 for any worker count, and to serving
+// the pairs one at a time through transmit_many in order.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+
+namespace semcache::core {
+
+class ParallelDispatcher {
+ public:
+  explicit ParallelDispatcher(SemanticEdgeSystem& system) : system_(system) {}
+  ParallelDispatcher(const ParallelDispatcher&) = delete;
+  ParallelDispatcher& operator=(const ParallelDispatcher&) = delete;
+
+  /// Queue messages for (sender, receiver). Repeated enqueues for the
+  /// same pair append to its batch (one pair, one lane, one completion
+  /// index); the pair's index in the flush wave is its first-enqueue
+  /// position.
+  void enqueue(const std::string& sender, const std::string& receiver,
+               std::vector<text::Sentence> messages);
+
+  /// Serve everything queued as one cross-pair wave (transmit_pairs) and
+  /// clear the queue. `on_done(pair, index, report)` fires per message as
+  /// its delivery chain completes (drive system.simulator() to run the
+  /// chains, exactly as with transmit_many). Returns the number of pairs
+  /// served; a no-op returning 0 when nothing is queued.
+  std::size_t flush(SemanticEdgeSystem::PairDone on_done);
+
+  /// Schedule `messages` from a pair for simulated time t
+  /// (transmit_pairs_at). Pairs scheduled for the same t are served as
+  /// one concurrent wave when the event loop reaches it. The pair index
+  /// reported to `on_done` is this dispatcher's running schedule count
+  /// (returned), so interleaved schedules stay distinguishable.
+  std::size_t transmit_at(edge::SimTime t, const std::string& sender,
+                          const std::string& receiver,
+                          std::vector<text::Sentence> messages,
+                          SemanticEdgeSystem::PairDone on_done);
+
+  std::size_t queued_pairs() const { return queue_.size(); }
+  std::size_t queued_messages() const;
+  /// Waves served through flush() so far (scheduling via transmit_at
+  /// forms waves inside the simulator instead).
+  std::size_t waves_served() const { return waves_; }
+  std::size_t pairs_served() const { return pairs_served_; }
+
+ private:
+  SemanticEdgeSystem& system_;
+  std::vector<SemanticEdgeSystem::PairBatch> queue_;
+  std::size_t waves_ = 0;
+  std::size_t pairs_served_ = 0;
+  std::size_t scheduled_ = 0;
+};
+
+}  // namespace semcache::core

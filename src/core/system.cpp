@@ -42,6 +42,9 @@ std::unique_ptr<SemanticEdgeSystem> SemanticEdgeSystem::build(
   if (sys->config_.num_threads > 0) {
     sys->pool_ = std::make_unique<common::ThreadPool>(sys->config_.num_threads);
     sys->pipeline_->set_thread_pool(sys->pool_.get());
+    // Concurrent waves (transmit_pairs_at) fan their per-pair compute
+    // phases out over the same pool.
+    sys->sim_.set_thread_pool(sys->pool_.get());
   }
 
   sys->pretrain_models();

@@ -202,6 +202,57 @@ class SemanticEdgeSystem {
                      std::vector<text::Sentence> messages,
                      std::function<void(std::size_t, TransmitReport)> on_done);
 
+  /// One user pair's ready-to-serve transmissions.
+  struct PairBatch {
+    std::string sender;
+    std::string receiver;
+    std::vector<text::Sentence> messages;
+  };
+  /// Completion for pair-parallel serving: message `index` of pair `pair`
+  /// arrived at its receiver device.
+  using PairDone =
+      std::function<void(std::size_t pair, std::size_t index, TransmitReport)>;
+
+  /// Cross-pair parallel serving: serve several user pairs' batches as
+  /// one wave. Three deterministic phases — (1) selection / cache touches
+  /// / slot establishment run on the calling thread in pair order (they
+  /// share the selector, the LRU caches, and the cloud links); (2) the
+  /// per-pair data planes run CONCURRENTLY on the system pool, partitioned
+  /// into lanes by sending user (every mutable serving object — user-model
+  /// slots, buffers, fine-tune scratch — is keyed by (sender, domain), so
+  /// distinct senders touch disjoint state; channel/system accounting
+  /// collects into pair-local sinks); (3) stats merges, gradient-sync
+  /// ships, and delivery-chain scheduling commit on the calling thread in
+  /// pair order. Results (reports, stats, cache contents, model weights,
+  /// event ordering) are BYTE-IDENTICAL to num_threads = 0 for any worker
+  /// count, and identical to calling transmit_many once per pair in order
+  /// (test_serve_pairs pins both).
+  ///
+  /// Restriction: requires sync_loss_probability == 0 while a pool is
+  /// engaged — the per-update loss coin consumes a globally ordered RNG
+  /// stream that has no deterministic cross-pair schedule. With loss
+  /// injection active the wave falls back to sequential per-pair serving
+  /// (identical results to transmit_many, no cross-pair concurrency).
+  void transmit_pairs(std::vector<PairBatch> batches, PairDone on_done);
+
+  /// Schedule a pair batch for simulated time t on the simulator's
+  /// concurrent phase (edge::Simulator::schedule_concurrent_at, lane-keyed
+  /// by sender). All pair batches landing on the same timestamp form one
+  /// cross-pair parallel wave when the event loop reaches it. Typically
+  /// reached through core::ParallelDispatcher. Requires
+  /// sync_loss_probability == 0 at fire time.
+  void transmit_pairs_at(edge::SimTime t, PairBatch batch, PairDone on_done,
+                         std::size_t pair_index = 0);
+
+  /// Admission checks for one pair batch (non-empty, known users,
+  /// message lengths); throws semcache::Error on violation. The single
+  /// source of truth: transmit_pairs runs it wave-wide BEFORE any
+  /// prepare so a rejected wave is side-effect-free, prepare_pair
+  /// re-runs it for simulator-scheduled batches (fire-time state), and
+  /// ParallelDispatcher fails fast at enqueue/schedule time so a queued
+  /// wave can never be lost to a validation throw mid-flush.
+  void validate_pair_batch(const PairBatch& batch) const;
+
   // --- introspection used by tests, examples, and benches ---
   text::World& world() { return world_; }
   edge::Simulator& simulator() { return sim_; }
@@ -233,9 +284,45 @@ class SemanticEdgeSystem {
   /// Resolve the general model through the edge cache (charges a cloud
   /// fetch on a miss); returns whether it was a hit.
   bool touch_general_cache(EdgeServerState& state, std::size_t domain);
+
+  /// A gradient-sync ship whose link send is deferred to a wave's commit
+  /// phase (cross-edge only; intra-edge applies are slot-local and run in
+  /// place).
+  struct PendingShip {
+    fl::SyncMessage msg;
+    std::vector<float> snapshot;  ///< post-update decoder state (resync)
+    std::string sender;
+    std::size_t domain = 0;
+    std::size_t sender_edge = 0;
+    std::size_t receiver_edge = 0;
+  };
+
+  /// Where a serving pass routes its order-sensitive side effects. The
+  /// direct mode (transmit_many on the calling thread) writes straight to
+  /// the global sinks and ships updates immediately; the deferred mode
+  /// (cross-pair compute tasks on pool workers) collects into pair-local
+  /// sinks that the commit phase folds back in pair order.
+  struct ServeContext {
+    SystemStats* stats;                     ///< accounting sink
+    channel::PipelineStats* channel_stats;  ///< null = pipeline's own stats
+    common::ThreadPool* row_pool;           ///< row-level fan-outs
+    std::vector<PendingShip>* outbox;       ///< null = ship updates now
+  };
+
   void run_update(const std::string& sender, std::size_t domain,
                   EdgeServerState& sender_state, EdgeServerState& recv_state,
-                  TransmitReport& report);
+                  TransmitReport& report, const ServeContext& ctx);
+  /// Apply one delivered sync message to the receiver-edge replica
+  /// (version advance, replay drop, or gap-triggered full resync).
+  void apply_sync_at_receiver(EdgeServerState& recv_state,
+                              const std::string& sender, std::size_t domain,
+                              const fl::SyncMessage& msg,
+                              const std::vector<float>& snapshot,
+                              SystemStats& stats);
+  /// Queue a cross-edge gradient ship on the backbone (the commit half of
+  /// a deferred update; the direct path calls it in place). Takes the
+  /// ship by value: msg and the decoder snapshot move into the event.
+  void ship_sync(PendingShip ship);
 
   // --- transmit_many stages (transmit_async is the N = 1 case) ---
   /// Selection, general-cache touches, and user-slot establishment for one
@@ -255,7 +342,24 @@ class SemanticEdgeSystem {
       std::uint64_t base_message_index,
       const std::vector<text::Sentence>& messages,
       const std::vector<std::size_t>& indices,
-      const std::vector<std::shared_ptr<TransmitReport>>& reports);
+      const std::vector<std::shared_ptr<TransmitReport>>& reports,
+      const ServeContext& ctx);
+
+  // --- cross-pair serving phases (transmit_pairs / transmit_pairs_at) ---
+  /// One pair's wave-scoped state: resolved profiles, per-message reports
+  /// and domain groups from the prepare phase, and the pair-local sinks
+  /// the compute phase collects into.
+  struct PairTask;
+  /// Phase 1 (calling thread, pair order): validation, selection, cache
+  /// touches, slot establishment, global message-index assignment.
+  void prepare_pair(PairTask& task);
+  /// Phase 2 (pool worker, lane-keyed by sender): the pair's batched data
+  /// plane — encode/quantize/channel/decode, mismatch, buffer adds,
+  /// fine-tunes — against pair-owned state and pair-local sinks.
+  void compute_pair(PairTask& task);
+  /// Phase 3 (calling thread, pair order): fold the pair-local sinks into
+  /// the global stats, ship deferred gradient syncs, schedule deliveries.
+  void commit_pair(PairTask& task, const PairDone& on_done);
   /// Timing-plane event chain (uplink -> encode -> backbone -> decode ->
   /// downlink) for one message; `deliver` fires at the receiver device.
   void schedule_delivery(const UserProfile& sprofile,

@@ -24,12 +24,26 @@
 // embarrassingly parallel, so threads=N output is bit-identical to
 // threads=0 (test_transmit_parallel pins the whole matrix); everything
 // stateful stays on the calling thread.
+//
+// transmit_pairs serves ACROSS user pairs: every mutable serving object —
+// user-model slot, transaction buffer, fine-tune scratch, decoder replica
+// — is keyed by (sending user, domain), so pairs with distinct senders
+// own disjoint state and their data planes run concurrently (lanes keyed
+// by sender; pairs sharing a sender serialize within one lane). What the
+// pairs DO share is routed around the fan-out: the selector, LRU caches,
+// and slot creation run in the sequential prepare phase; system/channel
+// accounting collects into pair-local sinks; gradient-sync ships and
+// delivery scheduling defer to the commit phase, folded back in pair
+// order. The ServeContext below is the switch between the direct
+// (transmit_many) and deferred (pair-task) routing; both produce
+// byte-identical results for any worker count.
 #include "core/system.hpp"
 
 #include <algorithm>
 #include <cstring>
 
 #include "common/check.hpp"
+#include "common/grouping.hpp"
 #include "metrics/ngram.hpp"
 #include "nn/loss.hpp"
 
@@ -55,7 +69,8 @@ void SemanticEdgeSystem::run_update(const std::string& sender,
                                     std::size_t domain,
                                     EdgeServerState& sender_state,
                                     EdgeServerState& recv_state,
-                                    TransmitReport& report) {
+                                    TransmitReport& report,
+                                    const ServeContext& ctx) {
   UserModelSlot* sslot = sender_state.find_slot(sender, domain);
   SEMCACHE_CHECK(sslot != nullptr && sslot->buffer != nullptr,
                  "run_update: missing sender slot");
@@ -76,7 +91,7 @@ void SemanticEdgeSystem::run_update(const std::string& sender,
       sslot->model->decoder().parameters().flatten_values();
   const std::vector<float> after =
       scratch->decoder().parameters().flatten_values();
-  const fl::SyncMessage msg = synchronizer_->make_message(
+  fl::SyncMessage msg = synchronizer_->make_message(
       before, after, sender, static_cast<std::uint32_t>(domain),
       ++sslot->send_version);
 
@@ -91,55 +106,92 @@ void SemanticEdgeSystem::run_update(const std::string& sender,
 
   report.triggered_update = true;
   report.sync_bytes = msg.byte_size();
-  stats_.sync_bytes += msg.byte_size();
-  ++stats_.updates;
+  ctx.stats->sync_bytes += msg.byte_size();
+  ++ctx.stats->updates;
 
   // Failure injection: the gradient message may be lost in transit. The
   // sender's replica already moved forward, so a loss opens a version gap
-  // that the next delivered update must repair.
+  // that the next delivered update must repair. The coin's fork tag is the
+  // GLOBAL update ordinal, so this block only runs in direct mode where
+  // ctx.stats is the global accounting — transmit_pairs refuses to build
+  // deferred waves while loss injection is active (prepare_pair checks).
   if (config_.sync_loss_probability > 0.0) {
-    Rng loss_rng = rng_.fork(0x10557 ^ (stats_.updates * 31ULL));
+    Rng loss_rng = rng_.fork(0x10557 ^ (ctx.stats->updates * 31ULL));
     if (loss_rng.bernoulli(config_.sync_loss_probability)) {
-      ++stats_.sync_drops;
+      ++ctx.stats->sync_drops;
       return;
     }
   }
 
-  // Ship the gradient to the receiver edge (④). Captures: recv_state lives
-  // in a stable unique_ptr; msg copied into the closure. The snapshot of
-  // the sender's post-update decoder rides along for gap recovery — on the
+  // Ship the gradient to the receiver edge (④). The snapshot of the
+  // sender's post-update decoder rides along for gap recovery — on the
   // wire it would be fetched on demand, so its bytes are only charged when
-  // a resync actually happens.
-  const std::vector<float> snapshot =
+  // a resync actually happens. Intra-edge, the replica is slot-local
+  // state this call owns, so the apply runs in place (both modes);
+  // cross-edge the backbone send mutates link/simulator state, so
+  // deferred mode queues it for the wave's ordered commit phase.
+  std::vector<float> snapshot =
       sslot->model->decoder().parameters().flatten_values();
-  auto apply_at_receiver = [this, &recv_state, sender, domain, msg,
-                            snapshot] {
-    UserModelSlot* rslot = recv_state.find_slot(sender, domain);
-    if (rslot == nullptr) return;  // receiver never saw this user; drop
-    if (rslot->recv_version.advance(msg.version)) {
-      nn::ParameterSet rdec = rslot->model->decoder().parameters();
-      synchronizer_->apply(rdec, msg);
-      ++rslot->updates_applied;
-      return;
-    }
-    if (msg.version <= rslot->recv_version.current()) return;  // replay
-    // Version gap: one or more updates were lost. Recover with a full
-    // decoder-state transfer (bytes charged on the backbone).
-    nn::ParameterSet rdec = rslot->model->decoder().parameters();
-    rdec.unflatten_values(snapshot);
-    rslot->recv_version.reset(msg.version);
-    ++rslot->updates_applied;
-    ++stats_.full_resyncs;
-    stats_.resync_bytes += 4 * snapshot.size();
-  };
   if (sender_state.index() == recv_state.index()) {
-    apply_at_receiver();
-  } else {
-    topology_.net
-        ->link(topology_.edges[sender_state.index()],
-               topology_.edges[recv_state.index()])
-        .send(sim_, msg.byte_size(), apply_at_receiver);
+    apply_sync_at_receiver(recv_state, sender, domain, msg, snapshot,
+                           *ctx.stats);
+    return;
   }
+  PendingShip ship;
+  ship.msg = std::move(msg);
+  ship.snapshot = std::move(snapshot);
+  ship.sender = sender;
+  ship.domain = domain;
+  ship.sender_edge = sender_state.index();
+  ship.receiver_edge = recv_state.index();
+  if (ctx.outbox != nullptr) {
+    ctx.outbox->push_back(std::move(ship));
+  } else {
+    ship_sync(std::move(ship));
+  }
+}
+
+void SemanticEdgeSystem::apply_sync_at_receiver(
+    EdgeServerState& recv_state, const std::string& sender, std::size_t domain,
+    const fl::SyncMessage& msg, const std::vector<float>& snapshot,
+    SystemStats& stats) {
+  UserModelSlot* rslot = recv_state.find_slot(sender, domain);
+  if (rslot == nullptr) return;  // receiver never saw this user; drop
+  if (rslot->recv_version.advance(msg.version)) {
+    nn::ParameterSet rdec = rslot->model->decoder().parameters();
+    synchronizer_->apply(rdec, msg);
+    ++rslot->updates_applied;
+    return;
+  }
+  if (msg.version <= rslot->recv_version.current()) return;  // replay
+  // Version gap: one or more updates were lost. Recover with a full
+  // decoder-state transfer (bytes charged on the backbone).
+  nn::ParameterSet rdec = rslot->model->decoder().parameters();
+  rdec.unflatten_values(snapshot);
+  rslot->recv_version.reset(msg.version);
+  ++rslot->updates_applied;
+  ++stats.full_resyncs;
+  stats.resync_bytes += 4 * snapshot.size();
+}
+
+void SemanticEdgeSystem::ship_sync(PendingShip ship) {
+  // Captures: recv_state lives in a stable unique_ptr; msg and the
+  // decoder snapshot MOVE into the closure (the snapshot is a full
+  // parameter vector — both call sites hand over a ship they are done
+  // with). The apply runs at arrival time on the event loop, where
+  // accounting is the global stats in every mode.
+  EdgeServerState& recv_state = *edge_states_[ship.receiver_edge];
+  const std::size_t byte_size = ship.msg.byte_size();
+  topology_.net
+      ->link(topology_.edges[ship.sender_edge],
+             topology_.edges[ship.receiver_edge])
+      .send(sim_, byte_size,
+            [this, &recv_state, sender = std::move(ship.sender),
+             domain = ship.domain, msg = std::move(ship.msg),
+             snapshot = std::move(ship.snapshot)] {
+              apply_sync_at_receiver(recv_state, sender, domain, msg,
+                                     snapshot, stats_);
+            });
 }
 
 void SemanticEdgeSystem::set_sync_loss_probability(double p) {
@@ -190,7 +242,8 @@ void SemanticEdgeSystem::process_domain_group(
     std::uint64_t base_message_index,
     const std::vector<text::Sentence>& messages,
     const std::vector<std::size_t>& indices,
-    const std::vector<std::shared_ptr<TransmitReport>>& reports) {
+    const std::vector<std::shared_ptr<TransmitReport>>& reports,
+    const ServeContext& ctx) {
   UserModelSlot& sslot = *sstate.find_slot(sender, m);
   UserModelSlot& rslot = *rstate.find_slot(sender, m);
   const std::size_t length = config_.codec.sentence_length;
@@ -205,7 +258,9 @@ void SemanticEdgeSystem::process_domain_group(
     nn::SoftmaxCrossEntropy ce;
   };
   std::vector<LaneScratch> lanes(
-      pool_ ? std::max<std::size_t>(1, pool_->worker_count()) : 1);
+      ctx.row_pool != nullptr
+          ? std::max<std::size_t>(1, ctx.row_pool->worker_count())
+          : 1);
 
   nn::SoftmaxCrossEntropy ce;  // calling-thread fallback path only
   std::vector<std::int32_t> surfaces;
@@ -240,7 +295,7 @@ void SemanticEdgeSystem::process_domain_group(
     const tensor::Tensor& features =
         sslot.model->encoder().encode_batch(surfaces, chunk);
     const std::vector<BitVec> payloads =
-        quantizer_->quantize_batch(features, pool_.get());
+        quantizer_->quantize_batch(features, ctx.row_pool);
 
     std::vector<BitVec> received;
     if (cross_edge) {
@@ -250,18 +305,24 @@ void SemanticEdgeSystem::process_domain_group(
         rngs.push_back(rng_.fork(
             channel_fork_tag(base_message_index + indices[pos + j])));
       }
-      received = pipeline_->transmit_batch(payloads, rngs);
+      // Deferred mode collects the channel accounting into the pair-local
+      // sink (the pipeline is shared across concurrently-served pairs);
+      // direct mode books into the pipeline's own stats as always.
+      received = ctx.channel_stats != nullptr
+                     ? pipeline_->transmit_batch_collect(
+                           payloads, rngs, *ctx.channel_stats, ctx.row_pool)
+                     : pipeline_->transmit_batch(payloads, rngs);
     } else {
       received = payloads;
     }
     const tensor::Tensor rx_features =
-        quantizer_->dequantize_batch(received, pool_.get());
+        quantizer_->dequantize_batch(received, ctx.row_pool);
     // Keep the receiver logits alive past the argmax: the mismatch-reuse
     // fast path below reads per-message row slices out of them.
     const tensor::Tensor& rx_logits =
         rslot.model->decoder().decode_logits_batch(rx_features);
     const std::vector<std::int32_t> decoded =
-        tensor::row_argmax(rx_logits, pool_.get());
+        tensor::row_argmax(rx_logits, ctx.row_pool);
 
     // --- Mismatch calculation (③). With the decoder copy the sender can
     // evaluate its own clean quantized features locally; without it, the
@@ -281,7 +342,7 @@ void SemanticEdgeSystem::process_domain_group(
     const tensor::Tensor* copy_logits = nullptr;
     if (config_.decoder_copy_enabled && !reuse) {
       const tensor::Tensor clean =
-          quantizer_->roundtrip_batch(features, pool_.get());
+          quantizer_->roundtrip_batch(features, ctx.row_pool);
       // Note: intra-edge, sslot and rslot alias the same decoder; the
       // decoded ids above are already copied out, so overwriting its
       // logits buffer here is safe (rx_logits is not read again on this
@@ -342,7 +403,7 @@ void SemanticEdgeSystem::process_domain_group(
         report.mismatch = 1.0 - report.token_accuracy;
       }
     };
-    common::parallel_for_or_inline(pool_.get(), chunk, assemble);
+    common::parallel_for_or_inline(ctx.row_pool, chunk, assemble);
 
     // ---- Commit, in arrival order within the chunk (all mutation —
     // fallback decoder passes, buffers, stats — on the calling thread). --
@@ -364,16 +425,17 @@ void SemanticEdgeSystem::process_domain_group(
         report.mismatch = ce.forward(logits, message.meanings);
       }
       if (!config_.decoder_copy_enabled) {
-        stats_.output_return_bytes += report.output_return_bytes;
+        ctx.stats->output_return_bytes += report.output_return_bytes;
       }
       sslot.buffer->add({message.surface, message.meanings}, report.mismatch);
-      stats_.feature_bytes += report.payload_bytes;
+      ctx.stats->feature_bytes += report.payload_bytes;
     }
 
     // --- Update trigger (④): fires on the chunk's last message, exactly
     // where the sequential path fires it. ---
     if (sslot.buffer->ready()) {
-      run_update(sender, m, sstate, rstate, *reports[indices[pos + chunk - 1]]);
+      run_update(sender, m, sstate, rstate, *reports[indices[pos + chunk - 1]],
+                 ctx);
     }
     pos += chunk;
   }
@@ -470,20 +532,13 @@ void SemanticEdgeSystem::transmit_many(
   // arrival order is preserved, and each message keeps the channel-noise
   // fork of its system-wide index.
   const std::uint64_t base_message_index = stats_.messages;
-  std::vector<std::size_t> group_domains;
-  std::vector<std::vector<std::size_t>> groups;
-  for (std::size_t i = 0; i < n; ++i) {
-    std::size_t g = 0;
-    while (g < group_domains.size() && group_domains[g] != domains[i]) ++g;
-    if (g == group_domains.size()) {
-      group_domains.push_back(domains[i]);
-      groups.emplace_back();
-    }
-    groups[g].push_back(i);
-  }
-  for (std::size_t g = 0; g < groups.size(); ++g) {
-    process_domain_group(sender, group_domains[g], sstate, rstate, cross_edge,
-                         base_message_index, messages, groups[g], reports);
+  const auto grouped = common::group_by_first_appearance(
+      n, [&](std::size_t i) { return domains[i]; });
+  const ServeContext direct{&stats_, nullptr, pool_.get(), nullptr};
+  for (std::size_t g = 0; g < grouped.groups.size(); ++g) {
+    process_domain_group(sender, grouped.keys[g], sstate, rstate, cross_edge,
+                         base_message_index, messages, grouped.groups[g],
+                         reports, direct);
   }
   stats_.messages += n;
 
@@ -494,6 +549,193 @@ void SemanticEdgeSystem::transmit_many(
                         on_done(i, std::move(report));
                       });
   }
+}
+
+// ===================== cross-pair parallel serving ======================
+
+struct SemanticEdgeSystem::PairTask {
+  std::size_t pair_index = 0;
+  PairBatch batch;
+  const UserProfile* sprofile = nullptr;
+  const UserProfile* rprofile = nullptr;
+  EdgeServerState* sstate = nullptr;
+  EdgeServerState* rstate = nullptr;
+  bool cross_edge = false;
+  std::uint64_t base_message_index = 0;
+  std::vector<std::size_t> domains;
+  std::vector<std::shared_ptr<TransmitReport>> reports;
+  // Selected-domain grouping (first-appearance order, as transmit_many).
+  std::vector<std::size_t> group_domains;
+  std::vector<std::vector<std::size_t>> groups;
+  // Pair-local sinks the commit phase folds back in pair order.
+  SystemStats stats_delta;
+  channel::PipelineStats channel_delta;
+  std::vector<PendingShip> outbox;
+};
+
+void SemanticEdgeSystem::validate_pair_batch(const PairBatch& batch) const {
+  SEMCACHE_CHECK(!batch.messages.empty(), "transmit_pairs: empty pair batch");
+  user(batch.sender);  // throws for unknown users
+  user(batch.receiver);
+  for (const text::Sentence& message : batch.messages) {
+    SEMCACHE_CHECK(message.surface.size() == config_.codec.sentence_length,
+                   "transmit_pairs: message length must match codec window");
+  }
+}
+
+void SemanticEdgeSystem::prepare_pair(PairTask& task) {
+  // Re-validate here for the simulator-scheduled path (the batch was
+  // admitted at schedule time, but fire-time state is what counts).
+  validate_pair_batch(task.batch);
+  // The per-update loss coin consumes a globally ordered RNG stream that
+  // cannot be assigned to concurrent pairs deterministically; waves are
+  // only built with injection off (transmit_pairs falls back to
+  // sequential per-pair serving, but a wave already scheduled on the
+  // simulator cannot).
+  SEMCACHE_CHECK(config_.sync_loss_probability == 0.0,
+                 "transmit_pairs: cross-pair waves require "
+                 "sync_loss_probability == 0 (use transmit_many under "
+                 "failure injection)");
+  task.sprofile = &user(task.batch.sender);
+  task.rprofile = &user(task.batch.receiver);
+  task.sstate = &edge_state(task.sprofile->edge_index);
+  task.rstate = &edge_state(task.rprofile->edge_index);
+  task.cross_edge = task.sprofile->edge_index != task.rprofile->edge_index;
+
+  const std::size_t n = task.batch.messages.size();
+  task.reports.resize(n);
+  task.domains.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    task.reports[i] = std::make_shared<TransmitReport>();
+    task.domains[i] = prepare_message(*task.sstate, *task.rstate,
+                                      task.batch.sender,
+                                      task.batch.messages[i],
+                                      *task.reports[i]);
+  }
+  // Claim this pair's run of global message indices now, in pair order —
+  // exactly the channel-noise forks n sequential transmit_many calls
+  // would consume (the counter's only other reader is the next prepare).
+  task.base_message_index = stats_.messages;
+  stats_.messages += n;
+
+  auto grouped = common::group_by_first_appearance(
+      n, [&](std::size_t i) { return task.domains[i]; });
+  task.group_domains = std::move(grouped.keys);
+  task.groups = std::move(grouped.groups);
+}
+
+void SemanticEdgeSystem::compute_pair(PairTask& task) {
+  // Row-level fan-outs still name the system pool: on a wave worker they
+  // degrade to inline loops (nested-engagement rule), while a
+  // single-lane wave computing on the calling thread keeps the row
+  // parallelism of transmit_many. Bits are identical either way.
+  const ServeContext deferred{&task.stats_delta, &task.channel_delta,
+                              pool_.get(), &task.outbox};
+  for (std::size_t g = 0; g < task.groups.size(); ++g) {
+    process_domain_group(task.batch.sender, task.group_domains[g],
+                         *task.sstate, *task.rstate, task.cross_edge,
+                         task.base_message_index, task.batch.messages,
+                         task.groups[g], task.reports, deferred);
+  }
+}
+
+void SemanticEdgeSystem::commit_pair(PairTask& task, const PairDone& on_done) {
+  // Fold the pair-local accounting into the global sinks. `messages` was
+  // claimed at prepare; uplink/downlink book in schedule_delivery below;
+  // selection_errors booked in prepare. The drop/resync counters are
+  // structurally zero here (no loss coin in deferred mode) but fold
+  // anyway so the invariant lives in one place.
+  stats_.feature_bytes += task.stats_delta.feature_bytes;
+  stats_.sync_bytes += task.stats_delta.sync_bytes;
+  stats_.output_return_bytes += task.stats_delta.output_return_bytes;
+  stats_.updates += task.stats_delta.updates;
+  stats_.sync_drops += task.stats_delta.sync_drops;
+  stats_.full_resyncs += task.stats_delta.full_resyncs;
+  stats_.resync_bytes += task.stats_delta.resync_bytes;
+  pipeline_->fold_stats(task.channel_delta);
+  // Ship deferred gradient syncs in trigger order, exactly where the
+  // sequential path would have sent them: after this pair's data plane,
+  // before its delivery chains.
+  for (PendingShip& ship : task.outbox) ship_sync(std::move(ship));
+  task.outbox.clear();
+
+  const std::size_t pair = task.pair_index;
+  for (std::size_t i = 0; i < task.batch.messages.size(); ++i) {
+    schedule_delivery(*task.sprofile, *task.rprofile, task.domains[i],
+                      task.batch.messages[i], task.reports[i],
+                      [on_done, pair, i](TransmitReport report) {
+                        on_done(pair, i, std::move(report));
+                      });
+  }
+}
+
+void SemanticEdgeSystem::transmit_pairs(std::vector<PairBatch> batches,
+                                        PairDone on_done) {
+  SEMCACHE_CHECK(on_done != nullptr, "transmit_pairs: null completion");
+  SEMCACHE_CHECK(!batches.empty(), "transmit_pairs: no pairs");
+  // Validate the WHOLE wave before serving anything — on BOTH paths:
+  // prepare claims global message indices and mutates caches/slots (and
+  // the fallback below serves pairs outright), so a mid-wave rejection
+  // would leave earlier pairs served-or-prepared but later ones dropped,
+  // with every later channel-noise fork shifted. Rejecting up front
+  // keeps a failed call side-effect-free, like a failed transmit_many.
+  for (const PairBatch& batch : batches) validate_pair_batch(batch);
+  if (config_.sync_loss_probability > 0.0) {
+    // Failure-injection fallback: serve pair by pair on the calling
+    // thread — identical to the caller looping transmit_many (and to the
+    // wave path when injection is off).
+    for (std::size_t p = 0; p < batches.size(); ++p) {
+      transmit_many(batches[p].sender, batches[p].receiver,
+                    std::move(batches[p].messages),
+                    [on_done, p](std::size_t i, TransmitReport report) {
+                      on_done(p, i, std::move(report));
+                    });
+    }
+    return;
+  }
+
+  // Phase 1: sequential prepares in pair order.
+  std::vector<PairTask> tasks(batches.size());
+  for (std::size_t p = 0; p < batches.size(); ++p) {
+    tasks[p].pair_index = p;
+    tasks[p].batch = std::move(batches[p]);
+    prepare_pair(tasks[p]);
+  }
+
+  // Phase 2: partition pairs into lanes by sending user — every mutable
+  // serving object is keyed by (sender, domain), so pairs sharing a
+  // sender share slots and must serialize (in pair order, within one
+  // lane); distinct senders own disjoint state and fan out.
+  const auto lanes = common::group_by_first_appearance(
+      tasks.size(),
+      [&](std::size_t p) -> const std::string& { return tasks[p].batch.sender; });
+  common::parallel_for_or_inline(
+      pool_.get(), lanes.groups.size(), [&](std::size_t lane, std::size_t) {
+        for (const std::size_t p : lanes.groups[lane]) compute_pair(tasks[p]);
+      });
+
+  // Phase 3: sequential commits in pair order.
+  for (PairTask& task : tasks) commit_pair(task, on_done);
+}
+
+void SemanticEdgeSystem::transmit_pairs_at(edge::SimTime t, PairBatch batch,
+                                           PairDone on_done,
+                                           std::size_t pair_index) {
+  SEMCACHE_CHECK(on_done != nullptr, "transmit_pairs_at: null completion");
+  // One three-phase simulator event per pair, lane-keyed by sender: every
+  // pair batch landing on the same timestamp joins one concurrent wave
+  // (edge::Simulator batches consecutive concurrent events), with the
+  // same prepare/compute/commit discipline as an immediate wave.
+  auto task = std::make_shared<PairTask>();
+  task->pair_index = pair_index;
+  task->batch = std::move(batch);
+  const std::uint64_t lane = std::hash<std::string>{}(task->batch.sender);
+  sim_.schedule_concurrent_at(
+      t, lane, [this, task] { prepare_pair(*task); },
+      [this, task] { compute_pair(*task); },
+      [this, task, on_done = std::move(on_done)] {
+        commit_pair(*task, on_done);
+      });
 }
 
 void SemanticEdgeSystem::transmit_async(

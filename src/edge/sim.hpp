@@ -3,12 +3,47 @@
 // Events are ordered by (time, insertion sequence), so two events at the
 // same timestamp execute in scheduling order — simulations are bit-for-bit
 // reproducible run to run.
+//
+// Concurrent phase: schedule_concurrent_at() registers THREE-PHASE events
+// for the deterministic parallel phase. When the queue head is a
+// concurrent event, the maximal run of consecutive (by queue order)
+// concurrent events at the same timestamp forms one WAVE:
+//
+//   1. every `prepare` runs on the calling thread in scheduling order —
+//      this is where order-sensitive shared state (selectors, caches,
+//      shared RNG streams) is touched;
+//   2. the `compute` handlers are partitioned into lanes by `lane` key
+//      (first-appearance order; scheduling order within a lane) and the
+//      lanes fan out over the attached ThreadPool — compute bodies in
+//      DIFFERENT lanes must not share mutable state and must not touch
+//      this Simulator (the disjoint-writes contract of
+//      common::ThreadPool), which is what makes the result independent of
+//      the worker count;
+//   3. every `commit` runs on the calling thread in scheduling order —
+//      stats merges, event scheduling, link sends.
+//
+// With no pool attached (or worker_count 0) the lanes run inline in lane
+// order, which is bit-identical to any pooled execution by the contract
+// above. An ordinary event interleaved (by scheduling order) between two
+// concurrent events at the same timestamp splits the wave — the ordinary
+// handler observes exactly the prefix's committed state, as it would have
+// sequentially.
+//
+// Error path: a phase that throws fails only ITS event (later phases
+// skipped) and later events in the SAME lane (they share state by
+// contract); sibling lanes still compute and commit, and the
+// earliest-scheduled captured exception rethrows from step()/run() after
+// the wave — mirroring ThreadPool's lowest-index discipline, so a bad
+// pair cannot silently discard its siblings' already-popped events.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
+
+#include "common/thread_pool.hpp"
 
 namespace semcache::edge {
 
@@ -26,21 +61,45 @@ class Simulator {
   /// Schedule a handler `dt >= 0` seconds from now.
   void schedule_after(SimTime dt, Handler fn);
 
+  /// Schedule a three-phase concurrent event (see file comment). Events
+  /// sharing a `lane` key never run their compute phases concurrently
+  /// with each other (serving layers key lanes by the state they own,
+  /// e.g. the sending user). `prepare` and `commit` may be null;
+  /// `compute` must not be.
+  void schedule_concurrent_at(SimTime t, std::uint64_t lane, Handler prepare,
+                              Handler compute, Handler commit);
+
+  /// Worker pool for the concurrent waves (non-owning; nullptr restores
+  /// inline execution). Affects wall clock only, never results.
+  void set_thread_pool(common::ThreadPool* pool) { pool_ = pool; }
+
   /// Run until the event queue drains.
   void run();
-  /// Run events with time <= t, then set now to t.
+  /// Run events with time <= t, then advance now to t. A target in the
+  /// past is clamped: time never moves backwards and no event is lost.
   void run_until(SimTime t);
   /// Execute only the next event (test hook); returns false when empty.
+  /// A concurrent wave counts as one step (all its events execute).
   bool step();
 
   std::size_t processed() const { return processed_; }
   std::size_t pending() const { return queue_.size(); }
 
  private:
+  /// Concurrent-phase extras, boxed so ordinary events — the event
+  /// loop's hot path — stay one pointer wider than before the feature
+  /// (a fat Event doubles the queue's sift cost; BM_SimulatorEventLoop
+  /// guards it).
+  struct ConcurrentParts {
+    Handler prepare;
+    Handler compute;
+    std::uint64_t lane = 0;
+  };
   struct Event {
     SimTime t;
     std::uint64_t seq;
-    Handler fn;
+    Handler fn;  ///< ordinary handler, or the concurrent event's commit
+    std::shared_ptr<ConcurrentParts> conc;  ///< null for ordinary events
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -48,10 +107,13 @@ class Simulator {
     }
   };
 
+  void run_wave(std::vector<Event>& wave);
+
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::size_t processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  common::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace semcache::edge

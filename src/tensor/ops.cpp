@@ -150,7 +150,11 @@ template <typename RowRangeFn>
 void parallel_rows(std::size_t m, std::size_t row_work, std::size_t grain,
                    common::ThreadPool* pool, const RowRangeFn& run) {
   const std::size_t workers = pool != nullptr ? pool->worker_count() : 0;
-  if (workers < 2 || m < 2 * kRowTile || m * row_work < grain) {
+  // On a pool worker already (e.g. a cross-pair serving task driving this
+  // model), nested fan-out is rejected by the pool — run the whole range
+  // inline instead; the cut placement never changes the bits.
+  if (workers < 2 || m < 2 * kRowTile || m * row_work < grain ||
+      common::ThreadPool::on_worker_thread()) {
     run(0, m);
     return;
   }
