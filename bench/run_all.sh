@@ -24,6 +24,10 @@
 #                   "threads" in every e-bench JSON and as
 #                   context.semcache_threads in the bench_micro JSON, so a
 #                   perf trajectory row always names its thread count.
+#   SEMCACHE_E14_USERS  population for bench_e14_city_scale (picked up by
+#                   the binary itself; default 100000 — CI sets 20000).
+#                   New bench_e* binaries are auto-globbed: e14 needs no
+#                   entry here, only its BASELINE.json wall_s row.
 #
 # Invoked by `cmake --build build --target bench`, or standalone:
 #   BENCH_BIN_DIR=build bench/run_all.sh

@@ -1,0 +1,36 @@
+// Stable string hashing for partitioning decisions.
+//
+// std::hash<std::string> is implementation-defined (and in practice differs
+// across standard libraries and even process runs under some hardening
+// modes), so anything whose OUTPUT depends on a hash value — shard
+// ownership, on-disk layouts, cross-process routing — must not use it.
+// FNV-1a 64 is tiny, fast on short user names, and bit-stable everywhere.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace semcache::common {
+
+/// FNV-1a 64-bit over the bytes of `s`. Deterministic across platforms,
+/// compilers, and runs; usable in constant expressions.
+constexpr std::uint64_t stable_hash(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+/// Hash-partition a user name into one of `num_shards` shards. This is THE
+/// ownership rule of the sharded serving layer: every mutable serving
+/// object is keyed by (sending user, domain), so placing all of a sender's
+/// pairs on shard_of(sender) makes shards own disjoint state.
+constexpr std::size_t shard_of(std::string_view user,
+                               std::size_t num_shards) {
+  return num_shards <= 1 ? 0 : stable_hash(user) % num_shards;
+}
+
+}  // namespace semcache::common

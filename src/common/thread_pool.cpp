@@ -10,9 +10,16 @@ namespace {
 /// Set while a pool worker executes a job body; parallel_for consults it to
 /// reject nested fan-out from any pool.
 thread_local bool tl_on_worker = false;
+/// The worker's slot index, fixed for the thread's lifetime; 0 on threads
+/// that are not pool workers. Lets code deep inside a fanned-out body pick
+/// slot-indexed scratch (e.g. per-worker serving replicas) without
+/// threading the slot through every call signature.
+thread_local std::size_t tl_worker_slot = 0;
 }  // namespace
 
 bool ThreadPool::on_worker_thread() { return tl_on_worker; }
+
+std::size_t ThreadPool::current_worker_slot() { return tl_worker_slot; }
 
 ThreadPool::ThreadPool(std::size_t workers) {
   threads_.reserve(workers);
@@ -58,6 +65,7 @@ void ThreadPool::run_job(Job& job, std::size_t slot) {
 }
 
 void ThreadPool::worker_main(std::size_t slot) {
+  tl_worker_slot = slot;
   std::uint64_t seen_generation = 0;
   for (;;) {
     std::shared_ptr<Job> job;

@@ -63,6 +63,13 @@ class ThreadPool {
   /// state parallel_for uses to reject nested fan-out).
   static bool on_worker_thread();
 
+  /// The calling thread's worker slot: its fixed lane index when it is a
+  /// pool worker, 0 otherwise (the same value body(index, worker_slot)
+  /// receives). Because slots are exclusive while a fan-out runs, code deep
+  /// inside a body can index slot-owned scratch through this without the
+  /// slot being threaded through every signature.
+  static std::size_t current_worker_slot();
+
  private:
   /// One fan-out's shared state. Heap-anchored behind a shared_ptr so a
   /// worker that wakes late (after the caller already returned) still reads

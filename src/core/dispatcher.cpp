@@ -1,21 +1,32 @@
 #include "core/dispatcher.hpp"
 
+#include <algorithm>
+#include <exception>
+#include <thread>
+#include <utility>
+
 #include "common/check.hpp"
 
 namespace semcache::core {
+
+SemanticEdgeSystem& ParallelDispatcher::system_for(const std::string& sender) {
+  return sharded_ != nullptr ? sharded_->owning_shard(sender) : *system_;
+}
 
 void ParallelDispatcher::enqueue(const std::string& sender,
                                  const std::string& receiver,
                                  std::vector<text::Sentence> messages) {
   // Fail fast: admit the batch NOW so flush() can never throw after the
   // queue has been moved into transmit_pairs — a rejected enqueue leaves
-  // everything already queued intact and servable.
+  // everything already queued intact and servable. In sharded mode the
+  // OWNING shard validates (that is where the pair will be served; user
+  // registration is replicated, so any shard would agree).
   {
     SemanticEdgeSystem::PairBatch probe;
     probe.sender = sender;
     probe.receiver = receiver;
     probe.messages = std::move(messages);
-    system_.validate_pair_batch(probe);
+    system_for(sender).validate_pair_batch(probe);
     messages = std::move(probe.messages);
   }
   for (auto& batch : queue_) {
@@ -39,11 +50,96 @@ std::size_t ParallelDispatcher::flush(SemanticEdgeSystem::PairDone on_done) {
   // it before the queue moves out so a bad call cannot lose queued work.
   SEMCACHE_CHECK(on_done != nullptr, "dispatcher: flush with null completion");
   const std::size_t pairs = queue_.size();
-  system_.transmit_pairs(std::move(queue_), std::move(on_done));
+  if (sharded_ != nullptr) {
+    flush_sharded(on_done);
+  } else {
+    system_->transmit_pairs(std::move(queue_), std::move(on_done));
+  }
   queue_.clear();  // moved-from: restore the well-defined empty state
   ++waves_;
   pairs_served_ += pairs;
   return pairs;
+}
+
+std::size_t ParallelDispatcher::flush_sharded(
+    const SemanticEdgeSystem::PairDone& on_done) {
+  const std::size_t num_shards = sharded_->num_shards();
+
+  // Pin every batch's channel-noise base from the deployment-wide counter
+  // in first-enqueue order — the coordinate that makes K independent
+  // shards consume exactly the noise streams the single-system reference
+  // would for this queue.
+  for (auto& batch : queue_) {
+    batch.noise_base = sharded_->claim_noise_bases(batch.messages.size());
+  }
+
+  // Partition by owning shard, remembering each batch's global pair index
+  // (its first-enqueue position — what on_done reports).
+  std::vector<std::vector<SemanticEdgeSystem::PairBatch>> shard_queues(
+      num_shards);
+  std::vector<std::vector<std::size_t>> global_pair(num_shards);
+  for (std::size_t p = 0; p < queue_.size(); ++p) {
+    const std::size_t s = sharded_->shard_of(queue_[p].sender);
+    shard_queues[s].push_back(std::move(queue_[p]));
+    global_pair[s].push_back(p);
+  }
+
+  // Fan the busy shards out, one thread per shard: each serves its wave
+  // (the shard's own pool parallelizes across ITS pairs — the dispatcher
+  // thread is not a pool worker, so shard-internal fan-out stays live)
+  // and drains its simulator so delivery chains complete. Completions
+  // buffer per shard; everything shard threads touch is shard-owned, so
+  // the threads share nothing.
+  struct Completion {
+    std::size_t pair;
+    std::size_t index;
+    TransmitReport report;
+  };
+  std::vector<std::vector<Completion>> collected(num_shards);
+  std::vector<std::exception_ptr> errors(num_shards);
+  std::vector<std::thread> threads;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    if (shard_queues[s].empty()) continue;
+    threads.emplace_back([this, s, &shard_queues, &global_pair, &collected,
+                          &errors] {
+      try {
+        SemanticEdgeSystem& shard = sharded_->shard(s);
+        const std::vector<std::size_t>& globals = global_pair[s];
+        std::vector<Completion>& out = collected[s];
+        shard.transmit_pairs(
+            std::move(shard_queues[s]),
+            [&globals, &out](std::size_t pair, std::size_t index,
+                             TransmitReport report) {
+              out.push_back({globals[pair], index, std::move(report)});
+            });
+        shard.simulator().run();
+      } catch (...) {
+        errors[s] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  // Deliver on the calling thread in (global pair, message) order — a
+  // deterministic merge of the per-shard completion streams.
+  std::vector<Completion> merged;
+  std::size_t total = 0;
+  for (const auto& c : collected) total += c.size();
+  merged.reserve(total);
+  for (auto& c : collected) {
+    for (auto& done : c) merged.push_back(std::move(done));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const Completion& a, const Completion& b) {
+              return a.pair != b.pair ? a.pair < b.pair : a.index < b.index;
+            });
+  for (Completion& done : merged) {
+    on_done(done.pair, done.index, std::move(done.report));
+  }
+  return merged.size();
 }
 
 std::size_t ParallelDispatcher::transmit_at(
@@ -54,10 +150,16 @@ std::size_t ParallelDispatcher::transmit_at(
   batch.sender = sender;
   batch.receiver = receiver;
   batch.messages = std::move(messages);
+  SemanticEdgeSystem& target = system_for(sender);
   // Fail fast at schedule time (prepare_pair re-validates at fire time).
-  system_.validate_pair_batch(batch);
+  target.validate_pair_batch(batch);
+  if (sharded_ != nullptr) {
+    // Deployment-wide noise order = schedule order (fire order may
+    // interleave per shard; the pinned base is what keeps streams exact).
+    batch.noise_base = sharded_->claim_noise_bases(batch.messages.size());
+  }
   const std::size_t index = scheduled_++;
-  system_.transmit_pairs_at(t, std::move(batch), std::move(on_done), index);
+  target.transmit_pairs_at(t, std::move(batch), std::move(on_done), index);
   return index;
 }
 

@@ -15,22 +15,42 @@
 //    the event loop (edge::Simulator's deterministic parallel phase) when
 //    the simulation reaches it — the open-loop (E7/E10-style) shape.
 //
+// Constructed over a ShardedEdgeServing instead of a single system, the
+// same front door scales OUT: enqueue routes each pair to
+// shard_of(sender) (stable hash ownership), flush pins every batch's
+// channel-noise base from the deployment-wide counter in first-enqueue
+// order, fans the per-shard waves out concurrently (one thread per busy
+// shard, each running its shard's transmit_pairs AND draining its shard's
+// simulator), and delivers the merged completions on the calling thread
+// in (global pair, message) order. A sharded flush is therefore
+// synchronous-complete: when it returns, every delivery chain has run —
+// there is no single simulator left for the caller to drive.
+//
 // Determinism: both modes inherit transmit_pairs' contract — results are
 // byte-identical to num_threads = 0 for any worker count, and to serving
-// the pairs one at a time through transmit_many in order.
+// the pairs one at a time through transmit_many in order. The sharded
+// front door extends it across deployments: for the same enqueue stream,
+// every K and every thread count produce byte-identical reports, weights,
+// and merged stats (latency too once pairs do not contend across shards;
+// see sharded.hpp). test_sharded pins the matrix.
 #pragma once
 
 #include <cstddef>
 #include <string>
 #include <vector>
 
+#include "core/sharded.hpp"
 #include "core/system.hpp"
 
 namespace semcache::core {
 
 class ParallelDispatcher {
  public:
-  explicit ParallelDispatcher(SemanticEdgeSystem& system) : system_(system) {}
+  explicit ParallelDispatcher(SemanticEdgeSystem& system)
+      : system_(&system) {}
+  /// Sharded front door: route by sender hash, fan out per shard, merge.
+  explicit ParallelDispatcher(ShardedEdgeServing& sharded)
+      : sharded_(&sharded) {}
   ParallelDispatcher(const ParallelDispatcher&) = delete;
   ParallelDispatcher& operator=(const ParallelDispatcher&) = delete;
 
@@ -41,18 +61,25 @@ class ParallelDispatcher {
   void enqueue(const std::string& sender, const std::string& receiver,
                std::vector<text::Sentence> messages);
 
-  /// Serve everything queued as one cross-pair wave (transmit_pairs) and
-  /// clear the queue. `on_done(pair, index, report)` fires per message as
-  /// its delivery chain completes (drive system.simulator() to run the
-  /// chains, exactly as with transmit_many). Returns the number of pairs
-  /// served; a no-op returning 0 when nothing is queued.
+  /// Serve everything queued as one cross-pair wave and clear the queue.
+  /// Single-system mode: one transmit_pairs wave; `on_done(pair, index,
+  /// report)` fires per message as its delivery chain completes (drive
+  /// system.simulator() to run the chains, exactly as with
+  /// transmit_many). Sharded mode: per-shard waves fan out concurrently,
+  /// every shard's simulator is drained before returning, and on_done
+  /// fires on THIS thread in (pair, index) order — no further driving
+  /// needed. Returns the number of pairs served; a no-op returning 0 when
+  /// nothing is queued.
   std::size_t flush(SemanticEdgeSystem::PairDone on_done);
 
   /// Schedule `messages` from a pair for simulated time t
-  /// (transmit_pairs_at). Pairs scheduled for the same t are served as
-  /// one concurrent wave when the event loop reaches it. The pair index
+  /// (transmit_pairs_at). Pairs scheduled for the same t form one
+  /// concurrent wave when the event loop reaches it. The pair index
   /// reported to `on_done` is this dispatcher's running schedule count
-  /// (returned), so interleaved schedules stay distinguishable.
+  /// (returned), so interleaved schedules stay distinguishable. Sharded
+  /// mode schedules on the OWNING shard's simulator with the noise base
+  /// pinned at schedule time (deployment order = schedule order); the
+  /// caller drives that shard's simulator.
   std::size_t transmit_at(edge::SimTime t, const std::string& sender,
                           const std::string& receiver,
                           std::vector<text::Sentence> messages,
@@ -61,12 +88,18 @@ class ParallelDispatcher {
   std::size_t queued_pairs() const { return queue_.size(); }
   std::size_t queued_messages() const;
   /// Waves served through flush() so far (scheduling via transmit_at
-  /// forms waves inside the simulator instead).
+  /// forms waves inside the simulator instead). A sharded flush counts as
+  /// ONE wave however many shards it fanned out to.
   std::size_t waves_served() const { return waves_; }
   std::size_t pairs_served() const { return pairs_served_; }
 
  private:
-  SemanticEdgeSystem& system_;
+  /// The system that owns (and validates) `sender`'s serving state.
+  SemanticEdgeSystem& system_for(const std::string& sender);
+  std::size_t flush_sharded(const SemanticEdgeSystem::PairDone& on_done);
+
+  SemanticEdgeSystem* system_ = nullptr;    ///< single-system mode
+  ShardedEdgeServing* sharded_ = nullptr;   ///< sharded mode (XOR system_)
   std::vector<SemanticEdgeSystem::PairBatch> queue_;
   std::size_t waves_ = 0;
   std::size_t pairs_served_ = 0;

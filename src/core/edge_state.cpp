@@ -24,7 +24,7 @@ UserModelSlot* EdgeServerState::find_slot(const std::string& user,
 
 UserModelSlot& EdgeServerState::ensure_slot(
     const std::string& user, std::size_t domain,
-    const std::function<std::unique_ptr<semantic::SemanticCodec>()>& make) {
+    const std::function<std::shared_ptr<semantic::SemanticCodec>()>& make) {
   const std::string key = slot_key(user, domain);
   const auto it = slots_.find(key);
   if (it != slots_.end()) return it->second;
@@ -40,9 +40,17 @@ UserModelSlot& EdgeServerState::ensure_slot(
 std::size_t EdgeServerState::user_model_bytes() const {
   std::size_t total = 0;
   for (const auto& [key, slot] : slots_) {
-    if (slot.model) total += slot.model->byte_size();
+    if (slot.owns_model && slot.model) total += slot.model->byte_size();
   }
   return total;
+}
+
+std::size_t EdgeServerState::materialized_models() const {
+  std::size_t count = 0;
+  for (const auto& [key, slot] : slots_) {
+    if (slot.owns_model) ++count;
+  }
+  return count;
 }
 
 }  // namespace semcache::core

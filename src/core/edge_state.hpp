@@ -20,8 +20,19 @@ namespace semcache::core {
 /// A user-domain-specialized model slot. At the SENDER edge the full codec
 /// (encoder + decoder copy) lives here; at the RECEIVER edge only the
 /// decoder half is consulted, kept in sync by gradient messages.
+///
+/// Copy-on-write: a fresh slot ALIASES the frozen general model
+/// (owns_model == false) — establishing a user costs bytes, not a model
+/// clone. The slot materializes a private clone only at the first weight
+/// write (a fine-tune at the sender, a sync apply at the receiver), which
+/// is what keeps per-user memory O(deltas) until a user actually trains
+/// (the city-scale premise). Serving an aliased slot routes through the
+/// system's per-worker serving replicas, never through the shared general
+/// object (its forward passes use internal Workspace scratch and are not
+/// concurrency-safe).
 struct UserModelSlot {
-  std::unique_ptr<semantic::SemanticCodec> model;
+  std::shared_ptr<semantic::SemanticCodec> model;
+  bool owns_model = false;  ///< true once materialized (private clone)
   std::unique_ptr<fl::DomainBuffer> buffer;   // sender side only
   std::uint64_t send_version = 0;             // sender: last version produced
   fl::VersionVector recv_version;             // receiver: applied updates
@@ -41,15 +52,21 @@ class EdgeServerState {
 
   /// Slot lookup; nullptr when absent.
   UserModelSlot* find_slot(const std::string& user, std::size_t domain);
-  /// Create-or-get; `make` is invoked only on creation.
+  /// Create-or-get; `make` is invoked only on creation and typically hands
+  /// back the shared general model (copy-on-write aliasing).
   UserModelSlot& ensure_slot(
       const std::string& user, std::size_t domain,
-      const std::function<std::unique_ptr<semantic::SemanticCodec>()>& make);
+      const std::function<std::shared_ptr<semantic::SemanticCodec>()>& make);
 
   std::size_t slots_established() const { return established_; }
   std::size_t slot_count() const { return slots_.size(); }
-  /// Bytes held by user-specific models (not general-cache bytes).
+  /// Bytes held by MATERIALIZED user-specific models (aliased slots cost
+  /// nothing here; general-cache bytes are accounted by the cache).
   std::size_t user_model_bytes() const;
+  /// Slots that have materialized a private model (copy-on-write fired).
+  std::size_t materialized_models() const;
+  /// All (user/domain, slot) entries, for accounting walks.
+  const std::map<std::string, UserModelSlot>& slots() const { return slots_; }
 
  private:
   static std::string slot_key(const std::string& user, std::size_t domain);

@@ -1,5 +1,7 @@
 #include "core/system.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 #include "select/context.hpp"
 #include "select/naive_bayes.hpp"
@@ -49,7 +51,35 @@ std::unique_ptr<SemanticEdgeSystem> SemanticEdgeSystem::build(
 
   sys->pretrain_models();
   sys->build_topology();
+
+  // Per-worker serving replicas of the frozen generals: aliased
+  // (copy-on-write) user slots run their forward passes through these, so
+  // establishing a user never clones a model and concurrent lanes never
+  // share Workspace scratch. One replica per (domain, worker slot) — a
+  // fixed cost bounded by the worker count, not the user count. The
+  // generals are frozen after pretraining, so the replicas never go stale.
+  const std::size_t lanes = std::max<std::size_t>(1, sys->config_.num_threads);
+  sys->serving_replicas_.resize(sys->world_.num_domains());
+  for (std::size_t d = 0; d < sys->world_.num_domains(); ++d) {
+    sys->serving_replicas_[d].reserve(lanes);
+    for (std::size_t w = 0; w < lanes; ++w) {
+      sys->serving_replicas_[d].push_back(sys->clone_general(d));
+    }
+  }
   return sys;
+}
+
+semantic::SemanticCodec& SemanticEdgeSystem::serving_codec(
+    const UserModelSlot& slot, std::size_t domain) {
+  if (slot.owns_model) return *slot.model;
+  return *serving_replicas_[domain][common::ThreadPool::current_worker_slot()];
+}
+
+void SemanticEdgeSystem::materialize_slot(UserModelSlot& slot,
+                                          std::size_t domain) {
+  if (slot.owns_model) return;
+  slot.model = clone_general(domain);
+  slot.owns_model = true;
 }
 
 void SemanticEdgeSystem::pretrain_models() {
@@ -187,6 +217,48 @@ bool SemanticEdgeSystem::touch_general_cache(EdgeServerState& state,
   cloud_link.send(sim_, info.size_bytes, [] {});
   state.general_cache().put(key, general_models_[domain], info);
   return false;
+}
+
+MemoryFootprint SemanticEdgeSystem::memory_footprint() const {
+  MemoryFootprint fp;
+  for (const auto& general : general_models_) {
+    fp.general_model_bytes += general->byte_size();
+  }
+  for (const auto& domain_replicas : serving_replicas_) {
+    for (const auto& replica : domain_replicas) {
+      fp.serving_replica_bytes += replica->byte_size();
+    }
+  }
+  fp.topology_bytes = topology_.net->approx_byte_size();
+
+  fp.users = users_.size();
+  for (const auto& [name, profile] : users_) {
+    fp.profile_bytes += sizeof(UserProfile) + name.capacity();
+    if (profile.idiolect != nullptr) {
+      // unordered_map entry: two int32 ids plus node/bucket overhead.
+      fp.profile_bytes += sizeof(text::Idiolect) +
+                          profile.idiolect->size() *
+                              (2 * sizeof(std::int32_t) + 2 * sizeof(void*));
+    }
+  }
+
+  const std::size_t tokens_per_sample = 2 * config_.codec.sentence_length;
+  for (const auto& state : edge_states_) {
+    fp.slots += state->slot_count();
+    fp.user_model_bytes += state->user_model_bytes();
+    fp.materialized_models += state->materialized_models();
+    for (const auto& [key, slot] : state->slots()) {
+      fp.slot_bytes += sizeof(UserModelSlot) + key.capacity();
+      if (slot.buffer != nullptr) {
+        fp.buffer_bytes +=
+            sizeof(fl::DomainBuffer) +
+            slot.buffer->size() *
+                (sizeof(semantic::Sample) + sizeof(double) +
+                 tokens_per_sample * sizeof(std::int32_t));
+      }
+    }
+  }
+  return fp;
 }
 
 bool SemanticEdgeSystem::replicas_in_sync(const std::string& user,

@@ -152,6 +152,70 @@ struct SystemStats {
   std::size_t sync_drops = 0;       ///< injected gradient-message losses
   std::size_t full_resyncs = 0;     ///< gap-triggered full-state recoveries
   std::uint64_t resync_bytes = 0;   ///< bytes spent on full snapshots
+  /// transmit_pairs waves that degraded to sequential per-pair serving
+  /// because sync-loss injection was active (no cross-pair concurrency
+  /// happened; results still match transmit_many). Callers that expected a
+  /// parallel wave should check this instead of assuming.
+  std::size_t wave_fallbacks = 0;
+
+  /// Field-wise accumulate (the sharded layer's stats merge).
+  SystemStats& operator+=(const SystemStats& o) {
+    messages += o.messages;
+    feature_bytes += o.feature_bytes;
+    uplink_bytes += o.uplink_bytes;
+    downlink_bytes += o.downlink_bytes;
+    sync_bytes += o.sync_bytes;
+    output_return_bytes += o.output_return_bytes;
+    updates += o.updates;
+    selection_errors += o.selection_errors;
+    sync_drops += o.sync_drops;
+    full_resyncs += o.full_resyncs;
+    resync_bytes += o.resync_bytes;
+    wave_fallbacks += o.wave_fallbacks;
+    return *this;
+  }
+};
+
+/// Where a deployment's bytes live, split so the city-scale question —
+/// "what does ONE MORE user cost?" — has a measurable answer. Fixed costs
+/// (general models, per-worker serving replicas, topology) amortize over
+/// the whole deployment; per-user costs (profiles, slots, buffers,
+/// MATERIALIZED fine-tuned models) are what bound users-per-GB. The
+/// copy-on-write slot design keeps user_model_bytes at zero until a user
+/// actually fine-tunes: per-user cost is bytes plus deltas, not clones.
+struct MemoryFootprint {
+  // Deployment-fixed.
+  std::size_t general_model_bytes = 0;    ///< frozen per-domain generals
+  std::size_t serving_replica_bytes = 0;  ///< per-(domain, worker) clones
+  std::size_t topology_bytes = 0;         ///< nodes/links/adjacency (approx)
+  // Per-user.
+  std::size_t profile_bytes = 0;     ///< directory entries + idiolects
+  std::size_t slot_bytes = 0;        ///< slot bookkeeping (versions, keys)
+  std::size_t buffer_bytes = 0;      ///< buffered transactions (the deltas)
+  std::size_t user_model_bytes = 0;  ///< materialized fine-tuned models only
+  // Counts.
+  std::size_t users = 0;
+  std::size_t slots = 0;
+  std::size_t materialized_models = 0;
+
+  std::size_t total() const {
+    return general_model_bytes + serving_replica_bytes + topology_bytes +
+           profile_bytes + slot_bytes + buffer_bytes + user_model_bytes;
+  }
+
+  MemoryFootprint& operator+=(const MemoryFootprint& o) {
+    general_model_bytes += o.general_model_bytes;
+    serving_replica_bytes += o.serving_replica_bytes;
+    topology_bytes += o.topology_bytes;
+    profile_bytes += o.profile_bytes;
+    slot_bytes += o.slot_bytes;
+    buffer_bytes += o.buffer_bytes;
+    user_model_bytes += o.user_model_bytes;
+    users += o.users;
+    slots += o.slots;
+    materialized_models += o.materialized_models;
+    return *this;
+  }
 };
 
 class SemanticEdgeSystem {
@@ -204,9 +268,19 @@ class SemanticEdgeSystem {
 
   /// One user pair's ready-to-serve transmissions.
   struct PairBatch {
+    /// noise_base sentinel: claim the base index from this system's own
+    /// message counter at prepare time (the single-system default).
+    static constexpr std::uint64_t kAutoNoiseBase = ~0ULL;
+
     std::string sender;
     std::string receiver;
     std::vector<text::Sentence> messages;
+    /// System-wide message index of messages[0] for channel-noise forking.
+    /// The sharded front door pins this from ITS global counter so K
+    /// independent shards consume exactly the noise streams the
+    /// single-system reference would, regardless of how pairs interleave
+    /// across shards. Left at kAutoNoiseBase everywhere else.
+    std::uint64_t noise_base = kAutoNoiseBase;
   };
   /// Completion for pair-parallel serving: message `index` of pair `pair`
   /// arrived at its receiver device.
@@ -232,7 +306,10 @@ class SemanticEdgeSystem {
   /// engaged — the per-update loss coin consumes a globally ordered RNG
   /// stream that has no deterministic cross-pair schedule. With loss
   /// injection active the wave falls back to sequential per-pair serving
-  /// (identical results to transmit_many, no cross-pair concurrency).
+  /// (identical results to transmit_many, no cross-pair concurrency); the
+  /// degradation is NOT silent — it increments SystemStats::wave_fallbacks
+  /// and prints a one-shot stderr note, so callers can tell a wave was
+  /// never actually parallel.
   void transmit_pairs(std::vector<PairBatch> batches, PairDone on_done);
 
   /// Schedule a pair batch for simulated time t on the simulator's
@@ -273,6 +350,13 @@ class SemanticEdgeSystem {
   bool replicas_in_sync(const std::string& user, std::size_t domain,
                         std::size_t sender_edge, std::size_t receiver_edge);
 
+  /// The memory audit: where this deployment's bytes live, with per-user
+  /// costs (profiles, slots, buffered deltas, materialized models)
+  /// separated from deployment-fixed costs (generals, serving replicas,
+  /// topology). Approximate to container-bookkeeping precision; the point
+  /// is the SHAPE — per-user cost must stay O(bytes + deltas).
+  MemoryFootprint memory_footprint() const;
+
   /// Adjust the sync-loss injection rate mid-run (failure-injection tests).
   void set_sync_loss_probability(double p);
 
@@ -281,6 +365,18 @@ class SemanticEdgeSystem {
   void pretrain_models();
   void build_topology();
   std::unique_ptr<semantic::SemanticCodec> clone_general(std::size_t domain);
+  /// The codec that actually runs a slot's forward passes: the slot's own
+  /// model once materialized, else the per-(domain, worker-slot) serving
+  /// replica of the general model — never the shared general itself, whose
+  /// internal Workspace scratch is not safe across concurrent lanes.
+  /// Replica weights equal the frozen general's forever, so routing an
+  /// aliased slot through a replica is bit-identical to the pre-COW
+  /// design's per-slot clone.
+  semantic::SemanticCodec& serving_codec(const UserModelSlot& slot,
+                                         std::size_t domain);
+  /// Copy-on-write: give `slot` a private clone of the general model
+  /// before its first weight write. No-op when already materialized.
+  void materialize_slot(UserModelSlot& slot, std::size_t domain);
   /// Resolve the general model through the edge cache (charges a cloud
   /// fetch on a miss); returns whether it was a hit.
   bool touch_general_cache(EdgeServerState& state, std::size_t domain);
@@ -375,6 +471,12 @@ class SemanticEdgeSystem {
   std::unique_ptr<common::ThreadPool> pool_;
   text::World world_;
   std::vector<std::shared_ptr<semantic::SemanticCodec>> general_models_;
+  /// serving_replicas_[domain][worker_slot]: the clones aliased slots
+  /// serve through. Sized max(1, num_threads) per domain at build — a
+  /// worker-count-bounded fixed cost replacing the old user-count-bounded
+  /// per-slot clones.
+  std::vector<std::vector<std::unique_ptr<semantic::SemanticCodec>>>
+      serving_replicas_;
   std::unique_ptr<select::DomainSelector> selector_;
   std::unique_ptr<semantic::FeatureQuantizer> quantizer_;
   std::unique_ptr<channel::ChannelPipeline> pipeline_;

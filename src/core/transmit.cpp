@@ -40,6 +40,7 @@
 #include "core/system.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 
 #include "common/check.hpp"
@@ -74,6 +75,10 @@ void SemanticEdgeSystem::run_update(const std::string& sender,
   UserModelSlot* sslot = sender_state.find_slot(sender, domain);
   SEMCACHE_CHECK(sslot != nullptr && sslot->buffer != nullptr,
                  "run_update: missing sender slot");
+  // First weight write for this slot: copy-on-write materializes a private
+  // clone of the general model here, so the bytes are charged exactly when
+  // the user develops state of their own.
+  materialize_slot(*sslot, domain);
 
   // Fine-tune a scratch clone on the buffered transactions (§II-D: the
   // user-specialized encoder and decoder "start to be trained together
@@ -158,6 +163,7 @@ void SemanticEdgeSystem::apply_sync_at_receiver(
   UserModelSlot* rslot = recv_state.find_slot(sender, domain);
   if (rslot == nullptr) return;  // receiver never saw this user; drop
   if (rslot->recv_version.advance(msg.version)) {
+    materialize_slot(*rslot, domain);  // copy-on-write before the apply
     nn::ParameterSet rdec = rslot->model->decoder().parameters();
     synchronizer_->apply(rdec, msg);
     ++rslot->updates_applied;
@@ -166,6 +172,7 @@ void SemanticEdgeSystem::apply_sync_at_receiver(
   if (msg.version <= rslot->recv_version.current()) return;  // replay
   // Version gap: one or more updates were lost. Recover with a full
   // decoder-state transfer (bytes charged on the backbone).
+  materialize_slot(*rslot, domain);
   nn::ParameterSet rdec = rslot->model->decoder().parameters();
   rdec.unflatten_values(snapshot);
   rslot->recv_version.reset(msg.version);
@@ -219,12 +226,14 @@ std::size_t SemanticEdgeSystem::prepare_message(EdgeServerState& sstate,
   report.general_cache_hit = touch_general_cache(sstate, m);
   touch_general_cache(rstate, m);
 
-  // --- User-specific slots (②): clone from the general model on first
-  // contact. The receiver edge holds the decoder replica for this
-  // (sender, domain) pair. ---
+  // --- User-specific slots (②): established copy-on-write — the fresh
+  // slot ALIASES the shared general model (bytes, not a clone; serving
+  // routes through the per-worker replicas, and the first fine-tune or
+  // sync apply materializes a private copy). The receiver edge holds the
+  // decoder replica for this (sender, domain) pair. ---
   report.established_user_model = (sstate.find_slot(sender, m) == nullptr);
   UserModelSlot& sslot =
-      sstate.ensure_slot(sender, m, [&] { return clone_general(m); });
+      sstate.ensure_slot(sender, m, [&] { return general_models_[m]; });
   if (sslot.buffer == nullptr) {
     // A trigger above the configured capacity means "never train" (the
     // frozen-general-model baseline); size the ring to match.
@@ -232,7 +241,7 @@ std::size_t SemanticEdgeSystem::prepare_message(EdgeServerState& sstate,
         config_.buffer_trigger,
         std::max(config_.buffer_capacity, config_.buffer_trigger));
   }
-  rstate.ensure_slot(sender, m, [&] { return clone_general(m); });
+  rstate.ensure_slot(sender, m, [&] { return general_models_[m]; });
   return m;
 }
 
@@ -292,8 +301,13 @@ void SemanticEdgeSystem::process_domain_group(
     // RNG, so the bits are identical on any worker count. All mutation
     // (buffers, caches, stats, timing-plane scheduling) stays below, on
     // the calling thread.
+    //
+    // serving_codec is resolved per chunk, not hoisted: the update trigger
+    // at a chunk boundary may MATERIALIZE the sender slot (copy-on-write),
+    // after which later chunks must run on the private fine-tuned model
+    // instead of the shared-general serving replica.
     const tensor::Tensor& features =
-        sslot.model->encoder().encode_batch(surfaces, chunk);
+        serving_codec(sslot, m).encoder().encode_batch(surfaces, chunk);
     const std::vector<BitVec> payloads =
         quantizer_->quantize_batch(features, ctx.row_pool);
 
@@ -320,7 +334,7 @@ void SemanticEdgeSystem::process_domain_group(
     // Keep the receiver logits alive past the argmax: the mismatch-reuse
     // fast path below reads per-message row slices out of them.
     const tensor::Tensor& rx_logits =
-        rslot.model->decoder().decode_logits_batch(rx_features);
+        serving_codec(rslot, m).decoder().decode_logits_batch(rx_features);
     const std::vector<std::int32_t> decoded =
         tensor::row_argmax(rx_logits, ctx.row_pool);
 
@@ -343,11 +357,12 @@ void SemanticEdgeSystem::process_domain_group(
     if (config_.decoder_copy_enabled && !reuse) {
       const tensor::Tensor clean =
           quantizer_->roundtrip_batch(features, ctx.row_pool);
-      // Note: intra-edge, sslot and rslot alias the same decoder; the
+      // Note: sslot and rslot may alias the same decoder (intra-edge, or
+      // both copy-on-write slots routed to one serving replica); the
       // decoded ids above are already copied out, so overwriting its
       // logits buffer here is safe (rx_logits is not read again on this
       // branch).
-      copy_logits = &sslot.model->decoder().decode_logits_batch(clean);
+      copy_logits = &serving_codec(sslot, m).decoder().decode_logits_batch(clean);
     }
 
     // ---- Per-message outcome assembly. Report fields and the mismatch
@@ -413,15 +428,16 @@ void SemanticEdgeSystem::process_domain_group(
       TransmitReport& report = *reports[idx];
 
       if (wants_copy_fallback[j]) {
-        // Evaluate this one clean feature row through the decoder copy
-        // (the receiver logits other messages still slice stay untouched;
-        // the assembly join above already consumed them).
+        // Evaluate this one clean feature row through the decoder copy.
+        // Safe even when the copy shares a serving replica with the
+        // receiver side: the assembly join above already consumed every
+        // rx_logits slice, so nothing reads that buffer again.
         tensor::Tensor row({1, config_.codec.feature_dim});
         std::memcpy(row.data(), features.data() + j * row.size(),
                     row.size() * sizeof(float));
         const tensor::Tensor clean = quantizer_->roundtrip(row);
         const tensor::Tensor logits =
-            sslot.model->decoder().decode_logits(clean);
+            serving_codec(sslot, m).decoder().decode_logits(clean);
         report.mismatch = ce.forward(logits, message.meanings);
       }
       if (!config_.decoder_copy_enabled) {
@@ -615,7 +631,14 @@ void SemanticEdgeSystem::prepare_pair(PairTask& task) {
   // Claim this pair's run of global message indices now, in pair order —
   // exactly the channel-noise forks n sequential transmit_many calls
   // would consume (the counter's only other reader is the next prepare).
-  task.base_message_index = stats_.messages;
+  // A batch with a PINNED noise base (the sharded front door assigns them
+  // from its deployment-wide counter in first-enqueue order) uses that
+  // instead, so a shard's noise streams match the single-system reference
+  // no matter how pairs interleave across shards; the local message count
+  // still advances either way.
+  task.base_message_index = task.batch.noise_base == PairBatch::kAutoNoiseBase
+                                ? stats_.messages
+                                : task.batch.noise_base;
   stats_.messages += n;
 
   auto grouped = common::group_by_first_appearance(
@@ -683,7 +706,19 @@ void SemanticEdgeSystem::transmit_pairs(std::vector<PairBatch> batches,
   if (config_.sync_loss_probability > 0.0) {
     // Failure-injection fallback: serve pair by pair on the calling
     // thread — identical to the caller looping transmit_many (and to the
-    // wave path when injection is off).
+    // wave path when injection is off). NOT silent: the degradation is
+    // counted per wave, and announced once per process so a benchmark
+    // that thought it was measuring cross-pair concurrency finds out.
+    ++stats_.wave_fallbacks;
+    static const bool warned = [] {
+      std::fputs(
+          "semcache: transmit_pairs wave degraded to sequential per-pair "
+          "serving (sync_loss_probability > 0); see "
+          "SystemStats::wave_fallbacks\n",
+          stderr);
+      return true;
+    }();
+    (void)warned;
     for (std::size_t p = 0; p < batches.size(); ++p) {
       transmit_many(batches[p].sender, batches[p].receiver,
                     std::move(batches[p].messages),

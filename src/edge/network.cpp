@@ -63,6 +63,17 @@ std::uint64_t Network::total_bytes_carried() const {
   return total;
 }
 
+std::size_t Network::approx_byte_size() const {
+  std::size_t total = nodes_.capacity() * sizeof(nodes_[0]) +
+                      links_.capacity() * sizeof(links_[0]);
+  for (const auto& n : nodes_) total += sizeof(Node) + n->name().capacity();
+  total += links_.size() * sizeof(Link);
+  // Hash map entry: key + value + a node pointer / bucket slot of overhead.
+  total += adjacency_.size() *
+           (sizeof(std::uint64_t) + sizeof(LinkId) + 2 * sizeof(void*));
+  return total;
+}
+
 StandardTopology build_standard_topology(std::size_t num_edges,
                                          std::size_t devices_per_edge,
                                          const TopologyConfig& config) {

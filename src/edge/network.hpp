@@ -51,6 +51,12 @@ class Network {
 
   std::uint64_t total_bytes_carried() const;
 
+  /// Approximate resident bytes of the topology itself (nodes, links,
+  /// adjacency map). Feeds the system memory audit: at city scale each
+  /// registered device is a node plus two links, so topology is a real,
+  /// measurable per-user cost rather than a rounding error.
+  std::size_t approx_byte_size() const;
+
  private:
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;

@@ -80,6 +80,7 @@ void expect_stats_equal(const SystemStats& ref, const SystemStats& got) {
   EXPECT_EQ(ref.sync_drops, got.sync_drops);
   EXPECT_EQ(ref.full_resyncs, got.full_resyncs);
   EXPECT_EQ(ref.resync_bytes, got.resync_bytes);
+  EXPECT_EQ(ref.wave_fallbacks, got.wave_fallbacks);
 }
 
 /// Sender-side slot (buffer counters, versions, full model weights) and
@@ -578,7 +579,9 @@ TEST(ServePairsEviction, CacheContentionStaysDeterministic) {
 
 /// Failure injection active: transmit_pairs falls back to sequential
 /// per-pair serving (documented restriction) and still matches a twin
-/// served through transmit_many.
+/// served through transmit_many. The degradation must be SURFACED, not
+/// silent: SystemStats::wave_fallbacks counts exactly the waves that
+/// never ran cross-pair parallel.
 TEST(ServePairsFallback, SyncLossFallsBackToSequential) {
   unsetenv("SEMCACHE_THREADS");
   auto waved = SemanticEdgeSystem::build(pairs_config(99, 4));
@@ -608,7 +611,13 @@ TEST(ServePairsFallback, SyncLossFallsBackToSequential) {
     expect_reports_equal(ref_reports[i], result.reports[0][i],
                          "fallback message " + std::to_string(i));
   }
-  expect_stats_equal(reference->stats(), waved->stats());
+  // One wave degraded on the waved system; the transmit_many twin never
+  // formed a wave at all. Everything else must match field-for-field.
+  SystemStats waved_stats = waved->stats();
+  EXPECT_EQ(waved_stats.wave_fallbacks, 1u);
+  EXPECT_EQ(reference->stats().wave_fallbacks, 0u);
+  waved_stats.wave_fallbacks = 0;
+  expect_stats_equal(reference->stats(), waved_stats);
 }
 
 }  // namespace
