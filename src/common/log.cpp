@@ -1,0 +1,50 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_set>
+
+namespace semcache::common {
+
+namespace {
+std::mutex g_mutex;
+std::unordered_set<std::string> g_seen;
+std::optional<LogLevel> g_level;
+
+LogLevel parse_level() {
+  const char* raw = std::getenv("SEMCACHE_LOG_LEVEL");
+  if (raw == nullptr) return LogLevel::kWarn;
+  const std::string_view v(raw);
+  if (v == "silent" || v == "0") return LogLevel::kSilent;
+  if (v == "info" || v == "2") return LogLevel::kInfo;
+  // "warn", "1", and anything unrecognized: a typo must not mute warnings.
+  return LogLevel::kWarn;
+}
+}  // namespace
+
+LogLevel log_level() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (!g_level) g_level = parse_level();
+  return *g_level;
+}
+
+bool log_once(std::string_view key, std::string_view message, LogLevel level) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (!g_level) g_level = parse_level();
+  if (static_cast<int>(level) > static_cast<int>(*g_level)) return false;
+  if (!g_seen.emplace(key).second) return false;
+  std::fprintf(stderr, "semcache: %.*s\n", static_cast<int>(message.size()),
+               message.data());
+  return true;
+}
+
+void log_reset_for_tests() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_seen.clear();
+  g_level.reset();
+}
+
+}  // namespace semcache::common

@@ -1,0 +1,36 @@
+// Library-wide diagnostics with a verbosity knob.
+//
+// The serving plane must never spam stderr from a hot loop — a fault-storm
+// bench injects thousands of faults per second and each one is expected,
+// not exceptional. Diagnostics therefore go through log_once(): a given key
+// prints at most once per process, callers assert on COUNTERS (SystemStats)
+// instead of stderr text, and the SEMCACHE_LOG_LEVEL environment variable
+// ("silent" | "warn" | "info", default "warn") silences benches entirely.
+#pragma once
+
+#include <string_view>
+
+namespace semcache::common {
+
+enum class LogLevel {
+  kSilent = 0,  ///< nothing prints (fault-storm benches)
+  kWarn = 1,    ///< degradations and abandoned recoveries (default)
+  kInfo = 2,    ///< plus informational one-shots
+};
+
+/// The process log level, parsed once from SEMCACHE_LOG_LEVEL. Unknown
+/// values fall back to kWarn (a typo must not silence real warnings).
+LogLevel log_level();
+
+/// Print `message` to stderr the FIRST time `key` is seen at a level the
+/// process verbosity admits; later calls with the same key are no-ops.
+/// Returns whether this call printed (tests assert the dedup contract).
+/// Thread-safe: commit phases and dispatcher threads may race on a key.
+bool log_once(std::string_view key, std::string_view message,
+              LogLevel level = LogLevel::kWarn);
+
+/// Forget every seen key (unit tests only; the process level is re-read
+/// from the environment on the next log_level() call after this too).
+void log_reset_for_tests();
+
+}  // namespace semcache::common

@@ -130,6 +130,10 @@ std::string ByteReader::read_string() {
 
 std::vector<float> ByteReader::read_f32_vector() {
   const std::uint32_t n = read_u32();
+  // Validate the untrusted count against the bytes present BEFORE
+  // reserving: a garbage length prefix must throw, not attempt a
+  // multi-gigabyte allocation.
+  require(static_cast<std::size_t>(n) * 4);
   std::vector<float> out;
   out.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) out.push_back(read_f32());

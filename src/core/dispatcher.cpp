@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/log.hpp"
 
 namespace semcache::core {
 
@@ -84,6 +85,25 @@ std::size_t ParallelDispatcher::flush_sharded(
     global_pair[s].push_back(p);
   }
 
+  // Degraded-service backup: a stalled or failed shard's pairs must
+  // survive the std::move into its wave, so keep a copy of every busy
+  // shard's queue (sentences are small next to the codec compute). The
+  // fault config is replicated across shards; shard 0 always exists.
+  const FaultPlane& fault_plane = sharded_->shard(0).fault_plane();
+  std::vector<std::vector<SemanticEdgeSystem::PairBatch>> backup = shard_queues;
+  std::vector<std::uint8_t> degraded(num_shards, 0);
+  if (fault_plane.config().shard_stall > 0.0) {
+    // Injected stall: the coin is keyed by (shard, wave ordinal), so a
+    // given deployment stalls the same shards on the same waves no matter
+    // the thread count. A stalled shard's thread is never spawned — its
+    // wave "times out" and is served degraded below.
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      if (!shard_queues[s].empty() && fault_plane.stall_shard(s, waves_)) {
+        degraded[s] = 1;
+      }
+    }
+  }
+
   // Fan the busy shards out, one thread per shard: each serves its wave
   // (the shard's own pool parallelizes across ITS pairs — the dispatcher
   // thread is not a pool worker, so shard-internal fan-out stays live)
@@ -99,7 +119,7 @@ std::size_t ParallelDispatcher::flush_sharded(
   std::vector<std::exception_ptr> errors(num_shards);
   std::vector<std::thread> threads;
   for (std::size_t s = 0; s < num_shards; ++s) {
-    if (shard_queues[s].empty()) continue;
+    if (shard_queues[s].empty() || degraded[s]) continue;
     threads.emplace_back([this, s, &shard_queues, &global_pair, &collected,
                           &errors] {
       try {
@@ -119,8 +139,50 @@ std::size_t ParallelDispatcher::flush_sharded(
     });
   }
   for (std::thread& t : threads) t.join();
-  for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
+
+  // A shard whose wave threw mid-serve is degraded, not fatal: the flush
+  // must never hang or propagate. Drain whatever delivery chains the dead
+  // wave managed to schedule (their completions are discarded — the whole
+  // wave is re-served below so every pair completes exactly once).
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    if (!errors[s]) continue;
+    degraded[s] = 1;
+    try {
+      sharded_->shard(s).simulator().run();
+    } catch (...) {
+      // A poisoned event queue must not kill the flush either.
+    }
+    collected[s].clear();
+    common::log_once("shard-wave-failed",
+                     "sharded flush: a shard's wave failed mid-serve; its "
+                     "pairs were re-served degraded from the frozen generals "
+                     "(see SystemStats::degraded_serves)");
+  }
+
+  // Graceful degradation: serve every stalled/failed shard's pairs from
+  // its FROZEN general-model replicas on the calling thread. State on the
+  // shard is left alone (no slots, no buffers, no syncs); reports come
+  // back flagged `degraded`.
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    if (!degraded[s] || backup[s].empty()) continue;
+    common::log_once("shard-degraded",
+                     "sharded flush: shard stalled; serving its pairs "
+                     "degraded from the frozen general models (see "
+                     "SystemStats::degraded_serves)");
+    SemanticEdgeSystem& shard = sharded_->shard(s);
+    std::vector<Completion>& out = collected[s];
+    for (std::size_t j = 0; j < backup[s].size(); ++j) {
+      const std::size_t g = global_pair[s][j];
+      shard.serve_degraded(backup[s][j],
+                           [&out, g](std::size_t index, TransmitReport report) {
+                             out.push_back({g, index, std::move(report)});
+                           });
+    }
+    try {
+      shard.simulator().run();
+    } catch (...) {
+      // Never let a delivery-chain throw escape the degraded path.
+    }
   }
 
   // Deliver on the calling thread in (global pair, message) order — a

@@ -52,6 +52,26 @@ std::unique_ptr<SemanticEdgeSystem> SemanticEdgeSystem::build(
   sys->pretrain_models();
   sys->build_topology();
 
+  // Fault plane: validate the config once (throws on bad knobs) and wire
+  // the link layer. Outage sinks are attached unconditionally so explicit
+  // Link::add_outage windows (tests, scenario scripts) land in SystemStats
+  // even when no flap schedule is configured; flap schedules get a
+  // per-link deterministic phase so a fleet of links never flaps in
+  // lockstep.
+  sys->fault_plane_ = FaultPlane(sys->config_.faults);
+  const FaultConfig& faults = sys->config_.faults;
+  edge::Network& net = *sys->topology_.net;
+  for (edge::LinkId id = 0; id < net.link_count(); ++id) {
+    edge::Link& link = net.link_at(id);
+    link.set_outage_sinks(&sys->stats_.outage_drops,
+                          &sys->stats_.outage_queued);
+    if (faults.link_faults_active()) {
+      link.set_outage_policy(faults.outage_policy);
+      link.set_flap_schedule(faults.link_flap_period_s, faults.link_flap_down_s,
+                             sys->fault_plane_.flap_phase_s(id));
+    }
+  }
+
   // Per-worker serving replicas of the frozen generals: aliased
   // (copy-on-write) user slots run their forward passes through these, so
   // establishing a user never clones a model and concurrent lanes never

@@ -23,6 +23,7 @@
 #include "common/thread_pool.hpp"
 #include "core/edge_state.hpp"
 #include "edge/network.hpp"
+#include "faults/fault_plane.hpp"
 #include "fl/sync.hpp"
 #include "select/selector.hpp"
 #include "semantic/fidelity.hpp"
@@ -73,12 +74,18 @@ struct SystemConfig {
   /// disable only to measure or debug the full decoder-copy pass.
   bool mismatch_reuse = true;
 
-  /// Failure injection: probability a gradient-sync message is lost in
-  /// transit. A lost update opens a version gap at the receiver; the next
+  /// Deterministic fault injection (core::FaultPlane): sync-message loss /
+  /// corruption / duplication with retry + exponential backoff, link
+  /// outage flapping, and dispatcher shard stalls. Every coin is keyed by
+  /// the identity of the thing failing (message identity, link id, shard),
+  /// so fault-injected runs stay byte-identical across thread and shard
+  /// counts. All-zero defaults inject nothing and keep the fault-free
+  /// paths bit-compatible with earlier builds. A sync message whose every
+  /// attempt is lost opens a version gap at the receiver; the next
   /// delivered update detects the gap and triggers a FULL decoder-state
   /// resync (bytes charged), restoring replica byte-identity (§III-C
-  /// reliability).
-  double sync_loss_probability = 0.0;
+  /// reliability) — retry first, resync as last resort.
+  FaultConfig faults;
 
   /// Use the message's true domain instead of the selector (oracle mode,
   /// isolates codec behaviour from selection errors).
@@ -135,6 +142,10 @@ struct TransmitReport {
   bool triggered_update = false;
   bool established_user_model = false;
   bool general_cache_hit = true;
+  /// Served from a frozen general-model replica because the owning shard
+  /// stalled or failed mid-flush (no personalization, no fine-tune, no
+  /// cache/slot mutation) — availability over freshness.
+  bool degraded = false;
 
   double latency_s = 0.0;  ///< arrival at receiver device minus send time
 };
@@ -149,14 +160,20 @@ struct SystemStats {
   std::uint64_t output_return_bytes = 0;
   std::size_t updates = 0;
   std::size_t selection_errors = 0;
-  std::size_t sync_drops = 0;       ///< injected gradient-message losses
+  std::size_t sync_drops = 0;       ///< injected per-attempt sync losses
   std::size_t full_resyncs = 0;     ///< gap-triggered full-state recoveries
   std::uint64_t resync_bytes = 0;   ///< bytes spent on full snapshots
-  /// transmit_pairs waves that degraded to sequential per-pair serving
-  /// because sync-loss injection was active (no cross-pair concurrency
-  /// happened; results still match transmit_many). Callers that expected a
-  /// parallel wave should check this instead of assuming.
-  std::size_t wave_fallbacks = 0;
+  // Fault-plane accounting: every injected fault lands in exactly one of
+  // these (or sync_drops above), so a fault-storm run is auditable from
+  // stats alone — no stderr scraping.
+  std::size_t sync_retries = 0;        ///< retransmit attempts beyond the 1st
+  std::size_t sync_corrupt_drops = 0;  ///< CRC-rejected arrivals
+  std::size_t sync_duplicates = 0;     ///< duplicate deliveries (replayed)
+  std::size_t sync_expired = 0;        ///< messages abandoned at max_attempts
+  std::uint64_t sync_ack_bytes = 0;    ///< ack traffic on the reverse link
+  std::size_t outage_drops = 0;        ///< link sends refused during outages
+  std::size_t outage_queued = 0;       ///< link sends delayed to outage end
+  std::size_t degraded_serves = 0;     ///< messages served from frozen generals
 
   /// Field-wise accumulate (the sharded layer's stats merge).
   SystemStats& operator+=(const SystemStats& o) {
@@ -171,7 +188,14 @@ struct SystemStats {
     sync_drops += o.sync_drops;
     full_resyncs += o.full_resyncs;
     resync_bytes += o.resync_bytes;
-    wave_fallbacks += o.wave_fallbacks;
+    sync_retries += o.sync_retries;
+    sync_corrupt_drops += o.sync_corrupt_drops;
+    sync_duplicates += o.sync_duplicates;
+    sync_expired += o.sync_expired;
+    sync_ack_bytes += o.sync_ack_bytes;
+    outage_drops += o.outage_drops;
+    outage_queued += o.outage_queued;
+    degraded_serves += o.degraded_serves;
     return *this;
   }
 };
@@ -256,12 +280,11 @@ class SemanticEdgeSystem {
   /// receiver device; each message keeps its own timing-plane event chain,
   /// so latency and queueing behaviour match N transmit_async calls.
   ///
-  /// Equivalence guarantee: with sync-loss injection off (the default),
-  /// reports and aggregate stats are bit-identical to calling
-  /// transmit_async once per message in order (without running the
-  /// simulator in between). Under sync-loss injection a batch that
-  /// interleaves domains may draw the per-update loss coins in a
-  /// different order.
+  /// Equivalence guarantee: reports and aggregate stats are bit-identical
+  /// to calling transmit_async once per message in order (without running
+  /// the simulator in between) — including under fault injection, because
+  /// every fault coin is keyed by the identity of the failing object
+  /// (sync-message identity, link id), never by execution order.
   void transmit_many(const std::string& sender, const std::string& receiver,
                      std::vector<text::Sentence> messages,
                      std::function<void(std::size_t, TransmitReport)> on_done);
@@ -302,22 +325,31 @@ class SemanticEdgeSystem {
   /// count, and identical to calling transmit_many once per pair in order
   /// (test_serve_pairs pins both).
   ///
-  /// Restriction: requires sync_loss_probability == 0 while a pool is
-  /// engaged — the per-update loss coin consumes a globally ordered RNG
-  /// stream that has no deterministic cross-pair schedule. With loss
-  /// injection active the wave falls back to sequential per-pair serving
-  /// (identical results to transmit_many, no cross-pair concurrency); the
-  /// degradation is NOT silent — it increments SystemStats::wave_fallbacks
-  /// and prints a one-shot stderr note, so callers can tell a wave was
-  /// never actually parallel.
+  /// The guarantee HOLDS UNDER ACTIVE FAULT INJECTION: sync loss /
+  /// corruption / duplication coins are keyed by message identity (user,
+  /// domain, version, attempt) and link outages by (link, sim time), so a
+  /// wave draws exactly the coins the sequential path would — there is no
+  /// sequential fallback (test_faults pins the full thread x shard
+  /// matrix).
   void transmit_pairs(std::vector<PairBatch> batches, PairDone on_done);
+
+  /// Degraded-mode serving (the dispatcher's answer to a stalled or
+  /// failed shard): serve `batch` end-to-end through the FROZEN general-
+  /// model replicas — selection, encode, quantize, channel, decode,
+  /// delivery chains — with NO personalization and NO state mutation (no
+  /// slot establishment, no buffer adds, no fine-tune, no sync, no cache
+  /// touches). Every report is flagged `degraded` and counted in
+  /// SystemStats::degraded_serves. Channel noise keeps the identity-keyed
+  /// fork discipline via the batch's pinned noise base, so degraded
+  /// serving is itself deterministic.
+  void serve_degraded(const PairBatch& batch,
+                      std::function<void(std::size_t, TransmitReport)> on_done);
 
   /// Schedule a pair batch for simulated time t on the simulator's
   /// concurrent phase (edge::Simulator::schedule_concurrent_at, lane-keyed
   /// by sender). All pair batches landing on the same timestamp form one
   /// cross-pair parallel wave when the event loop reaches it. Typically
-  /// reached through core::ParallelDispatcher. Requires
-  /// sync_loss_probability == 0 at fire time.
+  /// reached through core::ParallelDispatcher.
   void transmit_pairs_at(edge::SimTime t, PairBatch batch, PairDone on_done,
                          std::size_t pair_index = 0);
 
@@ -344,6 +376,8 @@ class SemanticEdgeSystem {
   /// The data-plane worker pool; nullptr when the resolved num_threads is
   /// 0 (pure sequential build).
   common::ThreadPool* thread_pool() { return pool_.get(); }
+  /// The deterministic fault-injection plane built from config().faults.
+  const FaultPlane& fault_plane() const { return fault_plane_; }
 
   /// Byte-identity check between the sender-side decoder copy and the
   /// receiver-side decoder replica for a (user, domain) pair.
@@ -357,7 +391,8 @@ class SemanticEdgeSystem {
   /// is the SHAPE — per-user cost must stay O(bytes + deltas).
   MemoryFootprint memory_footprint() const;
 
-  /// Adjust the sync-loss injection rate mid-run (failure-injection tests).
+  /// Adjust the sync-loss injection rate mid-run (failure-injection
+  /// tests): sets config().faults.sync_loss and rebuilds the fault plane.
   void set_sync_loss_probability(double p);
 
  private:
@@ -418,6 +453,8 @@ class SemanticEdgeSystem {
   /// Queue a cross-edge gradient ship on the backbone (the commit half of
   /// a deferred update; the direct path calls it in place). Takes the
   /// ship by value: msg and the decoder snapshot move into the event.
+  /// With sync faults active, resolves the message's full retry schedule
+  /// here from identity-keyed coins (see the implementation comment).
   void ship_sync(PendingShip ship);
 
   // --- transmit_many stages (transmit_async is the N = 1 case) ---
@@ -466,6 +503,7 @@ class SemanticEdgeSystem {
 
   SystemConfig config_;
   Rng rng_;
+  FaultPlane fault_plane_;  ///< rebuilt whenever config_.faults changes
   /// Destroyed after everything that borrows it (pipeline_ holds a
   /// non-owning pointer); declared early so it outlives those members.
   std::unique_ptr<common::ThreadPool> pool_;

@@ -40,11 +40,11 @@
 #include "core/system.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <cstring>
 
 #include "common/check.hpp"
 #include "common/grouping.hpp"
+#include "common/log.hpp"
 #include "metrics/ngram.hpp"
 #include "nn/loss.hpp"
 
@@ -53,6 +53,8 @@ namespace semcache::core {
 namespace {
 constexpr std::size_t kHeaderBytes = 8;  ///< per-message framing overhead
 constexpr std::size_t kTokenBytes = 2;   ///< raw token id on device links
+constexpr std::size_t kSyncAckBytes = 16;  ///< sync delivery ack frame
+constexpr std::size_t kCrcBytes = 4;       ///< sync wire CRC trailer
 
 std::size_t raw_message_bytes(const text::Sentence& s) {
   return kHeaderBytes + kTokenBytes * s.surface.size();
@@ -114,20 +116,6 @@ void SemanticEdgeSystem::run_update(const std::string& sender,
   ctx.stats->sync_bytes += msg.byte_size();
   ++ctx.stats->updates;
 
-  // Failure injection: the gradient message may be lost in transit. The
-  // sender's replica already moved forward, so a loss opens a version gap
-  // that the next delivered update must repair. The coin's fork tag is the
-  // GLOBAL update ordinal, so this block only runs in direct mode where
-  // ctx.stats is the global accounting — transmit_pairs refuses to build
-  // deferred waves while loss injection is active (prepare_pair checks).
-  if (config_.sync_loss_probability > 0.0) {
-    Rng loss_rng = rng_.fork(0x10557 ^ (ctx.stats->updates * 31ULL));
-    if (loss_rng.bernoulli(config_.sync_loss_probability)) {
-      ++ctx.stats->sync_drops;
-      return;
-    }
-  }
-
   // Ship the gradient to the receiver edge (④). The snapshot of the
   // sender's post-update decoder rides along for gap recovery — on the
   // wire it would be fetched on demand, so its bytes are only charged when
@@ -182,29 +170,141 @@ void SemanticEdgeSystem::apply_sync_at_receiver(
 }
 
 void SemanticEdgeSystem::ship_sync(PendingShip ship) {
-  // Captures: recv_state lives in a stable unique_ptr; msg and the
-  // decoder snapshot MOVE into the closure (the snapshot is a full
-  // parameter vector — both call sites hand over a ship they are done
-  // with). The apply runs at arrival time on the event loop, where
-  // accounting is the global stats in every mode.
   EdgeServerState& recv_state = *edge_states_[ship.receiver_edge];
+  edge::Link& fwd = topology_.net->link(topology_.edges[ship.sender_edge],
+                                        topology_.edges[ship.receiver_edge]);
   const std::size_t byte_size = ship.msg.byte_size();
-  topology_.net
-      ->link(topology_.edges[ship.sender_edge],
-             topology_.edges[ship.receiver_edge])
-      .send(sim_, byte_size,
-            [this, &recv_state, sender = std::move(ship.sender),
-             domain = ship.domain, msg = std::move(ship.msg),
-             snapshot = std::move(ship.snapshot)] {
-              apply_sync_at_receiver(recv_state, sender, domain, msg,
-                                     snapshot, stats_);
-            });
+
+  if (!fault_plane_.config().sync_faults_active()) {
+    // Fault-free fast path, bit-compatible with the pre-fault-plane wire:
+    // msg and the decoder snapshot MOVE into the closure (the snapshot is
+    // a full parameter vector — both call sites hand over a ship they are
+    // done with). The apply runs at arrival time on the event loop, where
+    // accounting is the global stats in every mode.
+    fwd.send(sim_, byte_size,
+             [this, &recv_state, sender = std::move(ship.sender),
+              domain = ship.domain, msg = std::move(ship.msg),
+              snapshot = std::move(ship.snapshot)] {
+               apply_sync_at_receiver(recv_state, sender, domain, msg,
+                                      snapshot, stats_);
+             });
+    return;
+  }
+
+  // ---- Sync faults active: retry with exponential backoff. ----
+  //
+  // Every attempt's fate is a pure function of (seed, sender, domain,
+  // version, attempt) — see FaultPlane — so the WHOLE retry ladder is
+  // resolved here at ship time, deterministically, and only the surviving
+  // wire traffic is scheduled on the simulator. That keeps waves
+  // byte-identical at any thread or shard count: no coin ever depends on
+  // a global ordinal or on event interleaving. Retransmissions ride the
+  // same backbone link with the CRC-framed wire size; the receiver's CRC
+  // check rejects corrupted images cleanly (no state touched). If every
+  // attempt fails the message expires — the sender's replica has already
+  // moved on, so the receiver heals through the VersionVector gap-resync
+  // on the next delivered update (resync as last resort, retry first).
+  const FaultConfig& cfg = fault_plane_.config();
+  const auto domain32 = static_cast<std::uint32_t>(ship.domain);
+  const std::uint64_t version = ship.msg.version;
+  const std::size_t wire_bytes = byte_size + kCrcBytes;
+
+  // Schedule one attempt's wire traffic `after` seconds from now (0 =
+  // immediately, matching the fault-free path's timing for attempt 1).
+  const auto send_attempt = [this, &fwd](double after, std::size_t bytes,
+                                         edge::Simulator::Handler handler) {
+    if (after <= 0.0) {
+      fwd.send(sim_, bytes, std::move(handler));
+    } else {
+      sim_.schedule_after(after, [this, &fwd, bytes,
+                                  handler = std::move(handler)]() mutable {
+        fwd.send(sim_, bytes, std::move(handler));
+      });
+    }
+  };
+
+  double delay = 0.0;
+  std::uint64_t attempt = 1;
+  bool delivered = false;
+  for (; attempt <= cfg.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      ++stats_.sync_retries;
+      stats_.sync_bytes += byte_size;  // the retransmission rides the wire too
+    }
+    if (fault_plane_.drop_sync(ship.sender, domain32, version, attempt)) {
+      // Lost in transit: nothing arrives, the sender times out and backs
+      // off before the next attempt.
+      ++stats_.sync_drops;
+      delay += fault_plane_.retry_delay_s(attempt);
+      continue;
+    }
+    if (fault_plane_.corrupt_sync(ship.sender, domain32, version, attempt)) {
+      // Corrupted in transit: the real wire image, deterministically
+      // mangled, traverses the link; the receiver runs the CRC gate and
+      // drops it cleanly into the retry path. (A 2^-32 CRC collision
+      // would parse — the attempt is still counted faulted and dropped.)
+      auto wire = ship.msg.to_wire();
+      fault_plane_.corrupt_bytes(wire, ship.sender, domain32, version,
+                                 attempt);
+      send_attempt(delay, wire.size(), [this, wire = std::move(wire)] {
+        try {
+          (void)fl::SyncMessage::from_wire(wire);
+        } catch (const Error&) {
+        }
+        ++stats_.sync_corrupt_drops;
+      });
+      ++stats_.sync_drops;
+      delay += fault_plane_.retry_delay_s(attempt);
+      continue;
+    }
+    delivered = true;
+    break;
+  }
+  if (!delivered) {
+    // Retry budget exhausted: give up. The version gap heals via full
+    // resync on the next delivered update for this (user, domain).
+    ++stats_.sync_expired;
+    common::log_once("sync-expired",
+                     "sync message expired after max_attempts retries; "
+                     "the receiver will gap-resync on the next delivered "
+                     "update (see SystemStats::sync_expired)");
+    return;
+  }
+
+  const bool duplicate =
+      fault_plane_.duplicate_sync(ship.sender, domain32, version, attempt);
+  // The intact attempt. Shared ownership so an injected duplicate can
+  // deliver the same payload twice (the second copy is a VersionVector
+  // replay at the receiver and is dropped there).
+  auto payload = std::make_shared<PendingShip>(std::move(ship));
+  send_attempt(delay, wire_bytes, [this, &recv_state, payload] {
+    apply_sync_at_receiver(recv_state, payload->sender, payload->domain,
+                           payload->msg, payload->snapshot, stats_);
+    // Delivery ack on the reverse backbone path (modeled reliable; it is
+    // what arms the sender's retry timer in a real deployment).
+    stats_.sync_ack_bytes += kSyncAckBytes;
+    topology_.net
+        ->link(topology_.edges[payload->receiver_edge],
+               topology_.edges[payload->sender_edge])
+        .send(sim_, kSyncAckBytes, [] {});
+  });
+  if (duplicate) {
+    ++stats_.sync_duplicates;
+    stats_.sync_bytes += byte_size;  // the duplicate copy rides the wire too
+    send_attempt(delay, wire_bytes, [this, &recv_state, payload] {
+      // Second copy: link FIFO guarantees it lands after the first, so
+      // the receiver's replay check drops it without touching state.
+      apply_sync_at_receiver(recv_state, payload->sender, payload->domain,
+                             payload->msg, payload->snapshot, stats_);
+    });
+  }
 }
 
 void SemanticEdgeSystem::set_sync_loss_probability(double p) {
   SEMCACHE_CHECK(p >= 0.0 && p <= 1.0,
                  "sync_loss_probability must be in [0, 1]");
-  config_.sync_loss_probability = p;
+  config_.faults.sync_loss = p;
+  fault_plane_ = FaultPlane(config_.faults);
 }
 
 std::size_t SemanticEdgeSystem::prepare_message(EdgeServerState& sstate,
@@ -471,16 +571,23 @@ void SemanticEdgeSystem::schedule_delivery(
   stats_.downlink_bytes += down_bytes;
 
   edge::Network& net = *topology_.net;
-  UserModelSlot& sslot =
-      *edge_state(sprofile.edge_index).find_slot(sprofile.name, domain);
-  UserModelSlot& rslot =
-      *edge_state(rprofile.edge_index).find_slot(sprofile.name, domain);
+  // Degraded serves never establish slots, so the compute cost falls back
+  // to the frozen general's parameter shape (identical to any aliased
+  // slot model — the fallback changes nothing for healthy serving).
+  UserModelSlot* sslot =
+      edge_state(sprofile.edge_index).find_slot(sprofile.name, domain);
+  UserModelSlot* rslot =
+      edge_state(rprofile.edge_index).find_slot(sprofile.name, domain);
+  semantic::SemanticCodec& enc_model =
+      sslot != nullptr ? *sslot->model : *general_models_[domain];
+  semantic::SemanticCodec& dec_model =
+      rslot != nullptr ? *rslot->model : *general_models_[domain];
   const double enc_flops =
       2.0 *
-      static_cast<double>(sslot.model->encoder().parameters().scalar_count());
+      static_cast<double>(enc_model.encoder().parameters().scalar_count());
   const double dec_flops =
       2.0 *
-      static_cast<double>(rslot.model->decoder().parameters().scalar_count());
+      static_cast<double>(dec_model.decoder().parameters().scalar_count());
 
   const edge::NodeId s_dev = sprofile.device;
   const edge::NodeId r_dev = rprofile.device;
@@ -603,15 +710,6 @@ void SemanticEdgeSystem::prepare_pair(PairTask& task) {
   // Re-validate here for the simulator-scheduled path (the batch was
   // admitted at schedule time, but fire-time state is what counts).
   validate_pair_batch(task.batch);
-  // The per-update loss coin consumes a globally ordered RNG stream that
-  // cannot be assigned to concurrent pairs deterministically; waves are
-  // only built with injection off (transmit_pairs falls back to
-  // sequential per-pair serving, but a wave already scheduled on the
-  // simulator cannot).
-  SEMCACHE_CHECK(config_.sync_loss_probability == 0.0,
-                 "transmit_pairs: cross-pair waves require "
-                 "sync_loss_probability == 0 (use transmit_many under "
-                 "failure injection)");
   task.sprofile = &user(task.batch.sender);
   task.rprofile = &user(task.batch.receiver);
   task.sstate = &edge_state(task.sprofile->edge_index);
@@ -665,16 +763,23 @@ void SemanticEdgeSystem::compute_pair(PairTask& task) {
 void SemanticEdgeSystem::commit_pair(PairTask& task, const PairDone& on_done) {
   // Fold the pair-local accounting into the global sinks. `messages` was
   // claimed at prepare; uplink/downlink book in schedule_delivery below;
-  // selection_errors booked in prepare. The drop/resync counters are
-  // structurally zero here (no loss coin in deferred mode) but fold
-  // anyway so the invariant lives in one place.
+  // selection_errors booked in prepare. The fault/resync counters are
+  // structurally zero here (ship_sync books them at commit time, into
+  // the global stats) but fold anyway so the invariant lives in one
+  // place.
   stats_.feature_bytes += task.stats_delta.feature_bytes;
   stats_.sync_bytes += task.stats_delta.sync_bytes;
   stats_.output_return_bytes += task.stats_delta.output_return_bytes;
   stats_.updates += task.stats_delta.updates;
   stats_.sync_drops += task.stats_delta.sync_drops;
+  stats_.sync_retries += task.stats_delta.sync_retries;
+  stats_.sync_corrupt_drops += task.stats_delta.sync_corrupt_drops;
+  stats_.sync_duplicates += task.stats_delta.sync_duplicates;
+  stats_.sync_expired += task.stats_delta.sync_expired;
+  stats_.sync_ack_bytes += task.stats_delta.sync_ack_bytes;
   stats_.full_resyncs += task.stats_delta.full_resyncs;
   stats_.resync_bytes += task.stats_delta.resync_bytes;
+  stats_.degraded_serves += task.stats_delta.degraded_serves;
   pipeline_->fold_stats(task.channel_delta);
   // Ship deferred gradient syncs in trigger order, exactly where the
   // sequential path would have sent them: after this pair's data plane,
@@ -696,38 +801,15 @@ void SemanticEdgeSystem::transmit_pairs(std::vector<PairBatch> batches,
                                         PairDone on_done) {
   SEMCACHE_CHECK(on_done != nullptr, "transmit_pairs: null completion");
   SEMCACHE_CHECK(!batches.empty(), "transmit_pairs: no pairs");
-  // Validate the WHOLE wave before serving anything — on BOTH paths:
-  // prepare claims global message indices and mutates caches/slots (and
-  // the fallback below serves pairs outright), so a mid-wave rejection
-  // would leave earlier pairs served-or-prepared but later ones dropped,
+  // Validate the WHOLE wave before serving anything: prepare claims
+  // global message indices and mutates caches/slots, so a mid-wave
+  // rejection would leave earlier pairs prepared but later ones dropped,
   // with every later channel-noise fork shifted. Rejecting up front
   // keeps a failed call side-effect-free, like a failed transmit_many.
+  // Fault injection needs no special casing here: every fault coin is
+  // keyed by message identity (FaultPlane), so waves stay parallel — and
+  // byte-identical — under active injection.
   for (const PairBatch& batch : batches) validate_pair_batch(batch);
-  if (config_.sync_loss_probability > 0.0) {
-    // Failure-injection fallback: serve pair by pair on the calling
-    // thread — identical to the caller looping transmit_many (and to the
-    // wave path when injection is off). NOT silent: the degradation is
-    // counted per wave, and announced once per process so a benchmark
-    // that thought it was measuring cross-pair concurrency finds out.
-    ++stats_.wave_fallbacks;
-    static const bool warned = [] {
-      std::fputs(
-          "semcache: transmit_pairs wave degraded to sequential per-pair "
-          "serving (sync_loss_probability > 0); see "
-          "SystemStats::wave_fallbacks\n",
-          stderr);
-      return true;
-    }();
-    (void)warned;
-    for (std::size_t p = 0; p < batches.size(); ++p) {
-      transmit_many(batches[p].sender, batches[p].receiver,
-                    std::move(batches[p].messages),
-                    [on_done, p](std::size_t i, TransmitReport report) {
-                      on_done(p, i, std::move(report));
-                    });
-    }
-    return;
-  }
 
   // Phase 1: sequential prepares in pair order.
   std::vector<PairTask> tasks(batches.size());
@@ -771,6 +853,80 @@ void SemanticEdgeSystem::transmit_pairs_at(edge::SimTime t, PairBatch batch,
       [this, task, on_done = std::move(on_done)] {
         commit_pair(*task, on_done);
       });
+}
+
+void SemanticEdgeSystem::serve_degraded(
+    const PairBatch& batch,
+    std::function<void(std::size_t, TransmitReport)> on_done) {
+  SEMCACHE_CHECK(on_done != nullptr, "serve_degraded: null completion");
+  validate_pair_batch(batch);
+  const UserProfile& sprofile = user(batch.sender);
+  const UserProfile& rprofile = user(batch.receiver);
+  const bool cross_edge = sprofile.edge_index != rprofile.edge_index;
+  const std::uint64_t base = batch.noise_base == PairBatch::kAutoNoiseBase
+                                 ? stats_.messages
+                                 : batch.noise_base;
+  nn::SoftmaxCrossEntropy ce;
+
+  // Availability mode: every message runs the full Fig. 1 data plane on a
+  // FROZEN general-model replica — no slot creation, no cache touches, no
+  // transaction buffering, no fine-tune, no sync. Worker slot 0 is safe:
+  // degraded serving runs on the dispatcher's calling thread, never
+  // inside a wave fan-out. The channel keeps the identity-keyed noise
+  // fork, so a degraded wave is itself bit-reproducible.
+  for (std::size_t i = 0; i < batch.messages.size(); ++i) {
+    const text::Sentence& message = batch.messages[i];
+    auto report = std::make_shared<TransmitReport>();
+    report->degraded = true;
+    report->domain_true = message.domain;
+    const std::size_t m = config_.oracle_selection
+                              ? message.domain
+                              : selector_->select(message.surface);
+    report->domain_selected = m;
+    report->selection_correct = (m == message.domain);
+    if (!report->selection_correct) ++stats_.selection_errors;
+
+    semantic::SemanticCodec& codec = *serving_replicas_[m][0];
+    const tensor::Tensor& features =
+        codec.encoder().encode_batch(message.surface, 1);
+    const std::vector<BitVec> payloads =
+        quantizer_->quantize_batch(features, nullptr);
+    std::vector<BitVec> received;
+    if (cross_edge) {
+      std::vector<Rng> rngs;
+      rngs.push_back(rng_.fork(channel_fork_tag(base + i)));
+      received = pipeline_->transmit_batch(payloads, rngs);
+    } else {
+      received = payloads;
+    }
+    const tensor::Tensor rx_features =
+        quantizer_->dequantize_batch(received, nullptr);
+    const tensor::Tensor& rx_logits =
+        codec.decoder().decode_logits_batch(rx_features);
+    report->decoded_meanings = tensor::row_argmax(rx_logits, nullptr);
+    report->token_accuracy =
+        metrics::token_accuracy(message.meanings, report->decoded_meanings);
+    report->exact = (report->decoded_meanings == message.meanings);
+    report->payload_bytes = (payloads[0].size() + 7) / 8 + kHeaderBytes;
+    if (cross_edge) {
+      report->airtime_bits = pipeline_->code().encoded_length(payloads[0].size());
+    }
+    if (config_.decoder_copy_enabled) {
+      // Encoder and decoder are the SAME frozen general here, trivially
+      // in sync: the receiver logits ARE the decoder-copy logits.
+      report->mismatch = ce.forward(rx_logits, message.meanings);
+    } else {
+      report->output_return_bytes =
+          kHeaderBytes + kTokenBytes * report->decoded_meanings.size();
+      report->mismatch = 1.0 - report->token_accuracy;
+      stats_.output_return_bytes += report->output_return_bytes;
+    }
+    ++stats_.degraded_serves;
+    stats_.feature_bytes += report->payload_bytes;
+    schedule_delivery(sprofile, rprofile, m, message, report,
+                      [on_done, i](TransmitReport r) { on_done(i, std::move(r)); });
+  }
+  stats_.messages += batch.messages.size();
 }
 
 void SemanticEdgeSystem::transmit_async(

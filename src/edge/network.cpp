@@ -51,6 +51,11 @@ Link& Network::link(NodeId a, NodeId b) {
   return *links_[it->second];
 }
 
+Link& Network::link_at(LinkId id) {
+  SEMCACHE_CHECK(id < links_.size(), "Network::link_at: unknown id");
+  return *links_[id];
+}
+
 std::optional<LinkId> Network::find_link(NodeId a, NodeId b) const {
   const auto it = adjacency_.find(key(a, b));
   if (it == adjacency_.end()) return std::nullopt;

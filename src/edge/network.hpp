@@ -44,6 +44,8 @@ class Network {
   const Node& node(NodeId id) const;
   /// Directed link a -> b; throws if the nodes are not adjacent.
   Link& link(NodeId a, NodeId b);
+  /// Link by id (the fault plane walks every link to wire flap schedules).
+  Link& link_at(LinkId id);
   std::optional<LinkId> find_link(NodeId a, NodeId b) const;
 
   std::size_t node_count() const { return nodes_.size(); }

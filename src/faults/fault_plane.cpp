@@ -1,0 +1,123 @@
+#include "faults/fault_plane.hpp"
+
+#include "common/check.hpp"
+#include "common/hashing.hpp"
+#include "common/rng.hpp"
+
+namespace semcache::core {
+
+namespace {
+// Kind tags keep the coin families independent: the same message identity
+// draws unrelated loss / corruption / duplication coins.
+constexpr std::uint64_t kDropTag = 0xD407;
+constexpr std::uint64_t kCorruptTag = 0xC0BB;
+constexpr std::uint64_t kDuplicateTag = 0xD0BB;
+constexpr std::uint64_t kPatternTag = 0xF11B;
+constexpr std::uint64_t kStallTag = 0x57A11;
+constexpr std::uint64_t kPhaseTag = 0xF1A9;
+
+void check_probability(double p, const char* name) {
+  SEMCACHE_CHECK(p >= 0.0 && p <= 1.0,
+                 std::string("FaultConfig: ") + name + " must be in [0, 1]");
+}
+
+/// splitmix64 chain over the identity words; the final draw is the output.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t kind, std::uint64_t a,
+                  std::uint64_t b, std::uint64_t c) {
+  std::uint64_t state = seed ^ kind;
+  (void)splitmix64(state);
+  state ^= a;
+  (void)splitmix64(state);
+  state ^= b;
+  (void)splitmix64(state);
+  state ^= c;
+  return splitmix64(state);
+}
+
+double to_unit(std::uint64_t h) {
+  // Top 53 bits -> [0, 1): p = 1 always fires, p = 0 never does.
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+}  // namespace
+
+FaultPlane::FaultPlane(FaultConfig config) : config_(config) {
+  check_probability(config_.sync_loss, "sync_loss");
+  check_probability(config_.sync_corrupt, "sync_corrupt");
+  check_probability(config_.sync_duplicate, "sync_duplicate");
+  check_probability(config_.shard_stall, "shard_stall");
+  SEMCACHE_CHECK(config_.retry_timeout_s > 0.0,
+                 "FaultConfig: retry_timeout_s must be positive");
+  SEMCACHE_CHECK(config_.retry_backoff >= 1.0,
+                 "FaultConfig: retry_backoff must be >= 1");
+  SEMCACHE_CHECK(config_.max_attempts >= 1,
+                 "FaultConfig: max_attempts must be >= 1");
+  SEMCACHE_CHECK(config_.link_flap_period_s >= 0.0,
+                 "FaultConfig: link_flap_period_s must be >= 0");
+  SEMCACHE_CHECK(config_.link_flap_down_s >= 0.0 &&
+                     config_.link_flap_down_s <= config_.link_flap_period_s,
+                 "FaultConfig: link_flap_down_s must be in "
+                 "[0, link_flap_period_s]");
+}
+
+double FaultPlane::coin(std::uint64_t kind, std::uint64_t a, std::uint64_t b,
+                        std::uint64_t c) const {
+  return to_unit(mix(config_.seed, kind, a, b, c));
+}
+
+bool FaultPlane::drop_sync(std::string_view user, std::uint32_t domain,
+                           std::uint64_t version,
+                           std::uint64_t attempt) const {
+  return coin(kDropTag, common::stable_hash(user),
+              (static_cast<std::uint64_t>(domain) << 32) ^ version,
+              attempt) < config_.sync_loss;
+}
+
+bool FaultPlane::corrupt_sync(std::string_view user, std::uint32_t domain,
+                              std::uint64_t version,
+                              std::uint64_t attempt) const {
+  return coin(kCorruptTag, common::stable_hash(user),
+              (static_cast<std::uint64_t>(domain) << 32) ^ version,
+              attempt) < config_.sync_corrupt;
+}
+
+bool FaultPlane::duplicate_sync(std::string_view user, std::uint32_t domain,
+                                std::uint64_t version,
+                                std::uint64_t attempt) const {
+  return coin(kDuplicateTag, common::stable_hash(user),
+              (static_cast<std::uint64_t>(domain) << 32) ^ version,
+              attempt) < config_.sync_duplicate;
+}
+
+void FaultPlane::corrupt_bytes(std::vector<std::uint8_t>& bytes,
+                               std::string_view user, std::uint32_t domain,
+                               std::uint64_t version,
+                               std::uint64_t attempt) const {
+  if (bytes.empty()) return;
+  std::uint64_t state =
+      mix(config_.seed, kPatternTag, common::stable_hash(user),
+          (static_cast<std::uint64_t>(domain) << 32) ^ version, attempt);
+  const std::size_t flips = 1 + splitmix64(state) % 3;
+  for (std::size_t i = 0; i < flips; ++i) {
+    const std::size_t pos = splitmix64(state) % bytes.size();
+    // XOR with a nonzero byte: every flip really changes the image.
+    bytes[pos] ^= static_cast<std::uint8_t>(splitmix64(state) % 255 + 1);
+  }
+}
+
+double FaultPlane::retry_delay_s(std::uint64_t attempt) const {
+  double delay = config_.retry_timeout_s;
+  for (std::uint64_t i = 1; i < attempt; ++i) delay *= config_.retry_backoff;
+  return delay;
+}
+
+bool FaultPlane::stall_shard(std::size_t shard, std::size_t wave) const {
+  return coin(kStallTag, shard, wave, 0) < config_.shard_stall;
+}
+
+double FaultPlane::flap_phase_s(edge::LinkId link) const {
+  if (!config_.link_faults_active()) return 0.0;
+  return to_unit(mix(config_.seed, kPhaseTag, link, 0, 0)) *
+         config_.link_flap_period_s;
+}
+
+}  // namespace semcache::core

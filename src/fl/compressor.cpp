@@ -66,16 +66,26 @@ CompressedDelta CompressedDelta::deserialize(ByteReader& r) {
   SEMCACHE_CHECK(c.bits == 8 || c.bits == 16 || c.bits == 32,
                  "CompressedDelta: bad bit width");
   const std::uint32_t idx_count = r.read_u32();
+  // Untrusted count: every index occupies at least one varint byte, so a
+  // count beyond the remaining bytes is malformed — check BEFORE reserving
+  // (a garbage u32 must not turn into a multi-gigabyte allocation).
+  SEMCACHE_CHECK(idx_count <= r.remaining(),
+                 "CompressedDelta: index count exceeds payload");
   c.indices.reserve(idx_count);
   std::uint32_t prev = 0;
   for (std::uint32_t i = 0; i < idx_count; ++i) {
     prev += read_varint(r);
     c.indices.push_back(prev);
   }
+  SEMCACHE_CHECK(c.indices.empty() || c.indices.back() < c.total_dims,
+                 "CompressedDelta: index out of range");
   if (c.bits == 32) {
     c.dense_values = r.read_f32_vector();
   } else {
     const std::uint32_t n = r.read_u32();
+    SEMCACHE_CHECK(static_cast<std::size_t>(n) * (c.bits == 8 ? 1 : 2) <=
+                       r.remaining(),
+                   "CompressedDelta: value count exceeds payload");
     c.q_values.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) {
       if (c.bits == 8) {
@@ -85,6 +95,13 @@ CompressedDelta CompressedDelta::deserialize(ByteReader& r) {
       }
     }
   }
+  // A sparse message carries one value per index; a dense one (no index
+  // list) covers every dimension. Anything else would either fail or
+  // over-allocate in decompress — reject it at the wire.
+  const std::size_t count =
+      c.bits == 32 ? c.dense_values.size() : c.q_values.size();
+  SEMCACHE_CHECK(count == c.indices.size() || count == c.total_dims,
+                 "CompressedDelta: value/index count mismatch");
   return c;
 }
 

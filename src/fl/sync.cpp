@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "channel/crc.hpp"
 #include "common/check.hpp"
 
 namespace semcache::fl {
@@ -27,6 +28,28 @@ SyncMessage SyncMessage::from_bytes(std::span<const std::uint8_t> bytes) {
 }
 
 std::size_t SyncMessage::byte_size() const { return to_bytes().size(); }
+
+std::vector<std::uint8_t> SyncMessage::to_wire() const {
+  std::vector<std::uint8_t> wire = to_bytes();
+  const std::uint32_t crc = channel::crc32(wire);
+  for (std::size_t i = 0; i < 4; ++i) {
+    wire.push_back(static_cast<std::uint8_t>((crc >> (8 * i)) & 0xFF));
+  }
+  return wire;
+}
+
+SyncMessage SyncMessage::from_wire(std::span<const std::uint8_t> bytes) {
+  SEMCACHE_CHECK(bytes.size() >= 4, "SyncMessage: wire image too short");
+  const std::span<const std::uint8_t> payload =
+      bytes.subspan(0, bytes.size() - 4);
+  std::uint32_t crc = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    crc |= static_cast<std::uint32_t>(bytes[bytes.size() - 4 + i]) << (8 * i);
+  }
+  SEMCACHE_CHECK(channel::crc32(payload) == crc,
+                 "SyncMessage: CRC mismatch (corrupted in transit)");
+  return from_bytes(payload);
+}
 
 ModelSynchronizer::ModelSynchronizer(const CompressionConfig& config)
     : compressor_(config) {}

@@ -25,8 +25,21 @@ struct SyncMessage {
   CompressedDelta delta;
 
   std::vector<std::uint8_t> to_bytes() const;
+  /// Parse a payload image. Hardened against truncated/garbage input:
+  /// every read is bounds-checked and every count is validated against the
+  /// bytes actually present, so malformed input throws semcache::Error —
+  /// never UB, never an unbounded allocation (test_fl fuzzes this).
   static SyncMessage from_bytes(std::span<const std::uint8_t> bytes);
   std::size_t byte_size() const;
+
+  /// Wire framing: payload (to_bytes) followed by its CRC-32, LE u32.
+  /// Corruption in transit is detected at the receiver by from_wire, which
+  /// throws semcache::Error on a CRC mismatch (the retry path's clean-drop
+  /// signal) as well as on any malformed payload.
+  std::vector<std::uint8_t> to_wire() const;
+  static SyncMessage from_wire(std::span<const std::uint8_t> bytes);
+  /// byte_size() plus the CRC trailer.
+  std::size_t wire_byte_size() const { return byte_size() + 4; }
 };
 
 class ModelSynchronizer {

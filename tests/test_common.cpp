@@ -6,6 +6,7 @@
 
 #include "common/bits.hpp"
 #include "common/check.hpp"
+#include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/serialize.hpp"
 
@@ -257,6 +258,43 @@ TEST_P(BitsRoundTrip, RandomPayloads) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, BitsRoundTrip,
                          ::testing::Values(1, 2, 3, 7, 8, 15, 31, 63, 64));
+
+// The tests assert on log_once's RETURN VALUE (did the line go out?), not
+// on captured stderr — the counter is the contract.
+TEST(LogOnce, DeduplicatesByKey) {
+  unsetenv("SEMCACHE_LOG_LEVEL");
+  common::log_reset_for_tests();
+  EXPECT_TRUE(common::log_once("test-key-a", "first emission"));
+  EXPECT_FALSE(common::log_once("test-key-a", "suppressed duplicate"));
+  EXPECT_FALSE(common::log_once("test-key-a", "still suppressed"));
+  EXPECT_TRUE(common::log_once("test-key-b", "distinct key emits"));
+  common::log_reset_for_tests();
+  EXPECT_TRUE(common::log_once("test-key-a", "reset re-arms the key"));
+  common::log_reset_for_tests();
+}
+
+TEST(LogOnce, SilentLevelSuppressesEverything) {
+  setenv("SEMCACHE_LOG_LEVEL", "silent", 1);
+  common::log_reset_for_tests();  // also re-reads the level
+  EXPECT_EQ(common::log_level(), common::LogLevel::kSilent);
+  EXPECT_FALSE(common::log_once("test-silent", "must not emit"));
+  unsetenv("SEMCACHE_LOG_LEVEL");
+  common::log_reset_for_tests();
+}
+
+TEST(LogOnce, InfoMessagesGatedByWarnDefault) {
+  unsetenv("SEMCACHE_LOG_LEVEL");
+  common::log_reset_for_tests();
+  EXPECT_EQ(common::log_level(), common::LogLevel::kWarn);
+  EXPECT_FALSE(common::log_once("test-info", "info below default level",
+                                common::LogLevel::kInfo));
+  setenv("SEMCACHE_LOG_LEVEL", "info", 1);
+  common::log_reset_for_tests();
+  EXPECT_TRUE(common::log_once("test-info", "info now visible",
+                               common::LogLevel::kInfo));
+  unsetenv("SEMCACHE_LOG_LEVEL");
+  common::log_reset_for_tests();
+}
 
 }  // namespace
 }  // namespace semcache

@@ -429,5 +429,121 @@ TEST_P(LinkChain, LatencyAccumulates) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, LinkChain, ::testing::Values(1, 2, 4, 8));
 
+// ---------------- outage model (the fault plane's link layer) -----------
+
+namespace {
+/// A two-node net with one 8 Mbps / 1 ms link; returns the forward link.
+struct OutageRig {
+  Simulator sim;
+  Network net;
+  Link* link = nullptr;
+  OutageRig() {
+    const NodeId a = net.add_node("a", NodeKind::kEdgeServer, 1e9);
+    const NodeId b = net.add_node("b", NodeKind::kEdgeServer, 1e9);
+    net.connect(a, b, 8e6, 0.001);
+    link = &net.link(a, b);
+  }
+};
+}  // namespace
+
+TEST(LinkOutage, QueuePolicyDrainsAfterWindowInFifoOrder) {
+  OutageRig rig;
+  rig.link->add_outage(0.0, 0.5);
+  std::vector<double> arrivals;
+  // Two transfers submitted during the outage: both held, then drained in
+  // submission order starting exactly at the window's end.
+  rig.link->send(rig.sim, 1000, [&] { arrivals.push_back(rig.sim.now()); });
+  rig.link->send(rig.sim, 1000, [&] { arrivals.push_back(rig.sim.now()); });
+  rig.sim.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  // 1000 bytes at 8 Mbps = 1 ms serialization + 1 ms propagation.
+  EXPECT_NEAR(arrivals[0], 0.5 + 0.001 + 0.001, 1e-9);
+  EXPECT_NEAR(arrivals[1], 0.5 + 0.002 + 0.001, 1e-9);
+  // Only the first transfer started inside the window; the second queued
+  // behind it on ordinary FIFO grounds, after the link was back up.
+  EXPECT_EQ(rig.link->outage_queued(), 1u);
+  EXPECT_EQ(rig.link->outage_drops(), 0u);
+  EXPECT_EQ(rig.link->transfers(), 2u);
+  EXPECT_EQ(rig.link->bytes_carried(), 2000u);
+}
+
+TEST(LinkOutage, DropPolicyRefusesAndChargesNothing) {
+  OutageRig rig;
+  rig.link->add_outage(0.0, 0.5);
+  rig.link->set_outage_policy(OutagePolicy::kDrop);
+  bool delivered = false;
+  const SimTime t = rig.link->send(rig.sim, 1000, [&] { delivered = true; });
+  rig.sim.run();
+  EXPECT_EQ(t, Link::kDropped);
+  EXPECT_FALSE(delivered);  // the handler was never scheduled
+  EXPECT_EQ(rig.link->outage_drops(), 1u);
+  EXPECT_EQ(rig.link->transfers(), 0u);
+  EXPECT_EQ(rig.link->bytes_carried(), 0u);
+}
+
+TEST(LinkOutage, AdmissionCheckedAfterFifoQueueing) {
+  // A transfer submitted while the link is UP but whose FIFO start time
+  // falls inside a later outage window is still subject to the outage:
+  // admission is checked at the moment the transfer WOULD start.
+  OutageRig rig;
+  rig.link->add_outage(0.0005, 0.5);  // opens mid-first-transfer
+  std::vector<double> arrivals;
+  rig.link->send(rig.sim, 1000, [&] { arrivals.push_back(rig.sim.now()); });
+  rig.link->send(rig.sim, 1000, [&] { arrivals.push_back(rig.sim.now()); });
+  rig.sim.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_NEAR(arrivals[0], 0.001 + 0.001, 1e-9);  // admitted at t=0, unaffected
+  EXPECT_NEAR(arrivals[1], 0.5 + 0.001 + 0.001, 1e-9);  // held to window end
+  EXPECT_EQ(rig.link->outage_queued(), 1u);
+}
+
+TEST(LinkOutage, FlapScheduleIsPeriodicWithPhase) {
+  OutageRig rig;
+  rig.link->set_flap_schedule(1.0, 0.25, 0.5);  // down on [0.5, 0.75) mod 1
+  EXPECT_FALSE(rig.link->is_down(0.0));
+  EXPECT_TRUE(rig.link->is_down(0.5));
+  EXPECT_TRUE(rig.link->is_down(0.74));
+  EXPECT_FALSE(rig.link->is_down(0.75));
+  EXPECT_TRUE(rig.link->is_down(1.6));  // next period
+  EXPECT_NEAR(rig.link->next_up(0.6), 0.75, 1e-12);
+  EXPECT_NEAR(rig.link->next_up(0.2), 0.2, 1e-12);  // already up
+  // Clearing the schedule restores an always-up link.
+  rig.link->set_flap_schedule(0.0, 0.0, 0.0);
+  EXPECT_FALSE(rig.link->is_down(0.5));
+}
+
+TEST(LinkOutage, SinksMirrorCountersForSystemStats) {
+  OutageRig rig;
+  std::size_t drops = 0;
+  std::size_t queued = 0;
+  rig.link->set_outage_sinks(&drops, &queued);
+  rig.link->add_outage(0.0, 0.1);
+  // A refused transfer leaves the link idle, so the second send still
+  // starts inside the window and exercises the queue path.
+  rig.link->set_outage_policy(OutagePolicy::kDrop);
+  rig.link->send(rig.sim, 100, [] {});
+  rig.link->set_outage_policy(OutagePolicy::kQueue);
+  rig.link->send(rig.sim, 100, [] {});
+  rig.sim.run();
+  EXPECT_EQ(queued, 1u);
+  EXPECT_EQ(drops, 1u);
+  EXPECT_EQ(rig.link->outage_queued(), 1u);
+  EXPECT_EQ(rig.link->outage_drops(), 1u);
+}
+
+TEST(Network, LinkAtWalksEveryLink) {
+  Network net;
+  const NodeId a = net.add_node("a", NodeKind::kEdgeServer, 1e9);
+  const NodeId b = net.add_node("b", NodeKind::kEdgeServer, 1e9);
+  const NodeId c = net.add_node("c", NodeKind::kDevice, 1e9);
+  net.connect(a, b, 8e6, 0.001);
+  net.connect(b, c, 8e6, 0.001);
+  ASSERT_EQ(net.link_count(), 4u);  // two connects, forward + reverse each
+  for (LinkId id = 0; id < net.link_count(); ++id) {
+    EXPECT_EQ(net.link_at(id).id(), id);
+  }
+  EXPECT_THROW(net.link_at(net.link_count()), Error);
+}
+
 }  // namespace
 }  // namespace semcache::edge

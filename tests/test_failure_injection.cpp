@@ -1,6 +1,10 @@
-// Failure-injection tests: lost gradient-sync messages open version gaps;
-// the gap-recovery protocol restores replica byte-identity with a full
-// decoder-state transfer. Also covers the selector configuration switch.
+// Failure-injection tests: lost gradient-sync messages are retried with
+// exponential backoff; a message that exhausts its retry budget expires
+// and opens a version gap, which the gap-recovery protocol repairs with a
+// full decoder-state transfer on the next delivered update. Also covers
+// the selector configuration switch. (The deterministic fault plane
+// itself — coins, corruption, waves under faults — is pinned by
+// test_faults; this suite covers the end-to-end recovery story.)
 #include <gtest/gtest.h>
 
 #include "core/system.hpp"
@@ -28,28 +32,38 @@ void pump(SemanticEdgeSystem& system, const std::string& from,
   }
 }
 
-TEST(FailureInjection, LostSyncOpensGapThenResyncRepairs) {
+TEST(FailureInjection, LostSyncRetriesThenExpiresThenResyncRepairs) {
   SystemConfig config = fi_config();
-  config.sync_loss_probability = 1.0;  // every sync message vanishes
+  config.faults.sync_loss = 1.0;  // every attempt of every message vanishes
+  config.faults.max_attempts = 3;
   auto system = SemanticEdgeSystem::build(config);
   text::IdiolectConfig idio;
   idio.substitution_rate = 0.6;
   system->register_user("u", 0, &idio);
   system->register_user("v", 1, nullptr);
 
-  // Enough traffic for at least two updates, all lost.
+  // Enough traffic for at least two updates, all lost after a full retry
+  // ladder each: every attempt drops, every message expires.
   pump(*system, "u", "v", 2 * config.buffer_trigger + 2);
-  ASSERT_GE(system->stats().updates, 2u);
-  EXPECT_EQ(system->stats().sync_drops, system->stats().updates);
+  const std::size_t updates = system->stats().updates;
+  ASSERT_GE(updates, 2u);
+  EXPECT_EQ(system->stats().sync_drops, updates * config.faults.max_attempts);
+  EXPECT_EQ(system->stats().sync_retries,
+            updates * (config.faults.max_attempts - 1));
+  EXPECT_EQ(system->stats().sync_expired, updates);
   EXPECT_FALSE(system->replicas_in_sync("u", 0, 0, 1));  // diverged
 
   // Heal the channel: the next delivered update detects the gap and does a
   // full-state resync.
   system->set_sync_loss_probability(0.0);
   pump(*system, "u", "v", config.buffer_trigger + 2);
-  ASSERT_GT(system->stats().updates, system->stats().sync_drops);
+  ASSERT_GT(system->stats().updates, updates);
   EXPECT_GE(system->stats().full_resyncs, 1u);
   EXPECT_GT(system->stats().resync_bytes, 0u);
+  // Healing to p = 0 drops back to the fault-free fast path, whose wire
+  // framing carries no delivery acks (acks arm the retry timer, which only
+  // exists on the faulted path).
+  EXPECT_EQ(system->stats().sync_ack_bytes, 0u);
   EXPECT_TRUE(system->replicas_in_sync("u", 0, 0, 1));
 }
 
@@ -62,13 +76,15 @@ TEST(FailureInjection, NoLossMeansNoResyncs) {
   pump(*system, "u", "v", 3 * 8 + 2);
   ASSERT_GE(system->stats().updates, 2u);
   EXPECT_EQ(system->stats().sync_drops, 0u);
+  EXPECT_EQ(system->stats().sync_retries, 0u);
+  EXPECT_EQ(system->stats().sync_expired, 0u);
   EXPECT_EQ(system->stats().full_resyncs, 0u);
   EXPECT_TRUE(system->replicas_in_sync("u", 0, 0, 1));
 }
 
-TEST(FailureInjection, PartialLossEventuallyConverges) {
+TEST(FailureInjection, PartialLossRetriesAndEventuallyConverges) {
   SystemConfig config = fi_config();
-  config.sync_loss_probability = 0.5;
+  config.faults.sync_loss = 0.5;
   auto system = SemanticEdgeSystem::build(config);
   text::IdiolectConfig idio;
   idio.substitution_rate = 0.6;
@@ -77,9 +93,16 @@ TEST(FailureInjection, PartialLossEventuallyConverges) {
   pump(*system, "u", "v", 8 * config.buffer_trigger);
   const auto& st = system->stats();
   EXPECT_GT(st.sync_drops, 0u);
-  EXPECT_LT(st.sync_drops, st.updates);
+  // Retries mop up most losses before they expire: with p=0.5 and 4
+  // attempts only 1/16 of messages die, so retries must outnumber
+  // expiries on any realistic draw.
+  EXPECT_GT(st.sync_retries, st.sync_expired);
+  EXPECT_LT(st.sync_expired, st.updates);
+  // At p=0.5 some intact attempts get through, and each delivered sync is
+  // acked on the reverse backbone path.
+  EXPECT_GT(st.sync_ack_bytes, 0u);
   // After the last DELIVERED update the replicas must agree (either via the
-  // normal path or a gap resync). If the final update was dropped they may
+  // normal path or a gap resync). If the final update expired they may
   // legitimately lag — force one more delivered round.
   system->set_sync_loss_probability(0.0);
   pump(*system, "u", "v", config.buffer_trigger + 2);

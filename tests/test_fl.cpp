@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <span>
 
 #include "common/check.hpp"
 #include "fl/buffer.hpp"
@@ -173,6 +174,120 @@ TEST(SyncMessage, BytesRoundTrip) {
   EXPECT_EQ(back.version, 7u);
   EXPECT_EQ(sync.compressor().decompress(back.delta),
             sync.compressor().decompress(msg.delta));
+}
+
+TEST(SyncMessage, WireRoundTripCarriesCrc) {
+  Rng rng(6);
+  const auto delta = random_delta(64, rng);
+  ModelSynchronizer sync({0.5, 8});
+  std::vector<float> before(64, 0.0f);
+  const SyncMessage msg = sync.make_message(before, delta, "alice", 2, 7);
+  const auto wire = msg.to_wire();
+  EXPECT_EQ(wire.size(), msg.wire_byte_size());
+  EXPECT_EQ(wire.size(), msg.byte_size() + 4);
+  const SyncMessage back = SyncMessage::from_wire(wire);
+  EXPECT_EQ(back.user, "alice");
+  EXPECT_EQ(back.version, 7u);
+  EXPECT_EQ(sync.compressor().decompress(back.delta),
+            sync.compressor().decompress(msg.delta));
+}
+
+TEST(SyncMessage, WireCrcCatchesEverySingleByteFlip) {
+  Rng rng(8);
+  const auto delta = random_delta(32, rng);
+  ModelSynchronizer sync({0.5, 8});
+  std::vector<float> before(32, 0.0f);
+  const SyncMessage msg = sync.make_message(before, delta, "bob", 1, 3);
+  const auto wire = msg.to_wire();
+  for (std::size_t pos = 0; pos < wire.size(); ++pos) {
+    auto corrupted = wire;
+    corrupted[pos] ^= 0x41;
+    EXPECT_THROW((void)SyncMessage::from_wire(corrupted), Error)
+        << "flip at byte " << pos << " was not detected";
+  }
+}
+
+TEST(SyncMessage, TruncatedBytesThrowCleanly) {
+  // Hardened deserialization: EVERY strict prefix of a valid encoding
+  // must throw semcache::Error — never read out of bounds or allocate
+  // from a garbage length (ASan/UBSan-clean by construction).
+  Rng rng(9);
+  const auto delta = random_delta(48, rng);
+  ModelSynchronizer sync({0.25, 8});
+  std::vector<float> before(48, 0.0f);
+  const SyncMessage msg = sync.make_message(before, delta, "carol", 0, 11);
+  const auto bytes = msg.to_bytes();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const std::span<const std::uint8_t> prefix(bytes.data(), len);
+    EXPECT_THROW((void)SyncMessage::from_bytes(prefix), Error)
+        << "prefix of length " << len << " did not throw";
+  }
+  // And random garbage: decode must either throw Error or (for the rare
+  // accidentally-wellformed image) return — anything else is UB the
+  // sanitizer jobs would flag.
+  Rng fuzz(0xF022);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> garbage(static_cast<std::size_t>(
+        fuzz.uniform_int(0, static_cast<std::int64_t>(bytes.size()) * 2)));
+    for (auto& b : garbage) {
+      b = static_cast<std::uint8_t>(fuzz.uniform_int(0, 255));
+    }
+    try {
+      (void)SyncMessage::from_bytes(garbage);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(CompressedDelta, GarbageCountsRejectedBeforeAllocation) {
+  // A wire image claiming 2^32-ish elements in a tiny payload must be
+  // rejected by the bounds checks, not attempted as an allocation.
+  {
+    ByteWriter w;
+    w.write_u32(16);          // total_dims
+    w.write_f32(1.0f);        // scale
+    w.write_u8(8);            // bits
+    w.write_u32(0xFFFFFFFF);  // index count >> remaining bytes
+    ByteReader r(w.bytes());
+    EXPECT_THROW((void)CompressedDelta::deserialize(r), Error);
+  }
+  {
+    ByteWriter w;
+    w.write_u32(16);
+    w.write_f32(1.0f);
+    w.write_u8(8);
+    w.write_u32(0);           // no indices (dense)
+    w.write_u32(0xFFFFFFFF);  // value count >> remaining bytes
+    ByteReader r(w.bytes());
+    EXPECT_THROW((void)CompressedDelta::deserialize(r), Error);
+  }
+  {
+    // Indices out of range for total_dims.
+    ByteWriter w;
+    w.write_u32(4);  // total_dims
+    w.write_f32(1.0f);
+    w.write_u8(8);
+    w.write_u32(1);
+    w.write_u8(9);  // varint index 9 >= total_dims 4
+    w.write_u32(1);
+    w.write_u8(1);
+    ByteReader r(w.bytes());
+    EXPECT_THROW((void)CompressedDelta::deserialize(r), Error);
+  }
+  {
+    // Sparse value/index count mismatch (would misindex in decompress).
+    ByteWriter w;
+    w.write_u32(16);
+    w.write_f32(1.0f);
+    w.write_u8(8);
+    w.write_u32(2);
+    w.write_u8(1);
+    w.write_u8(1);
+    w.write_u32(1);  // 1 value for 2 indices
+    w.write_u8(5);
+    ByteReader r(w.bytes());
+    EXPECT_THROW((void)CompressedDelta::deserialize(r), Error);
+  }
 }
 
 TEST(Synchronizer, ReplicasStayBitIdenticalUnderLossyCompression) {
