@@ -62,6 +62,28 @@ def load_real_times(capture_path):
     return times
 
 
+def print_drift_table(baseline, current):
+    """Non-gating drift report against the informational micro_ns table.
+
+    Prints every baseline micro_ns row present in the capture with its
+    delta. Purely informational — nothing here fails the job, and it runs
+    even on hosts below min_cores (drift direction is still meaningful on
+    a starved pool; absolute walls are not). The ARMED numbers live in
+    regression_gate.ci_micro_ns and are handled by the gate proper.
+    """
+    info = baseline.get("micro_ns", {})
+    rows = [(name, float(base), current[name])
+            for name, base in sorted(info.items()) if name in current]
+    if not rows:
+        return
+    print("check_regression: informational micro_ns drift (non-gating; "
+          "provenance in BASELINE.json _comment):")
+    for name, base_ns, cur_ns in rows:
+        delta = cur_ns / base_ns - 1.0
+        print(f"  info {name}: {cur_ns / 1e3:.1f}us vs baseline "
+              f"{base_ns / 1e3:.1f}us ({delta:+.1%})")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--current", required=True,
@@ -92,6 +114,9 @@ def main():
     cores = os.cpu_count() or 1
     recorded = gate.get("ci_micro_ns", {})
     recorded_cores = recorded.get("context", {}).get("host_cores")
+
+    if not args.record:
+        print_drift_table(baseline, current)
 
     if args.record:
         if cores < min_cores:

@@ -107,9 +107,13 @@ std::size_t ParallelDispatcher::flush_sharded(
   // Fan the busy shards out, one thread per shard: each serves its wave
   // (the shard's own pool parallelizes across ITS pairs — the dispatcher
   // thread is not a pool worker, so shard-internal fan-out stays live)
-  // and drains its simulator so delivery chains complete. Completions
-  // buffer per shard; everything shard threads touch is shard-owned, so
-  // the threads share nothing.
+  // and drains its simulator so delivery chains complete. That drain is
+  // also where the timing plane's link-lane waves run: every data-plane
+  // hop is a Link::send_concurrent event, so same-time hops across
+  // different links compute in parallel on the shard's pool while each
+  // link's FIFO commits stay ordered. Completions buffer per shard;
+  // everything shard threads touch is shard-owned, so the threads share
+  // nothing.
   struct Completion {
     std::size_t pair;
     std::size_t index;

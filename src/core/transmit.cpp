@@ -181,13 +181,14 @@ void SemanticEdgeSystem::ship_sync(PendingShip ship) {
     // a full parameter vector — both call sites hand over a ship they are
     // done with). The apply runs at arrival time on the event loop, where
     // accounting is the global stats in every mode.
-    fwd.send(sim_, byte_size,
-             [this, &recv_state, sender = std::move(ship.sender),
-              domain = ship.domain, msg = std::move(ship.msg),
-              snapshot = std::move(ship.snapshot)] {
-               apply_sync_at_receiver(recv_state, sender, domain, msg,
-                                      snapshot, stats_);
-             });
+    fwd.send_concurrent(
+        sim_, byte_size,
+        [this, &recv_state, sender = std::move(ship.sender),
+         domain = ship.domain, msg = std::move(ship.msg),
+         snapshot = std::move(ship.snapshot)] {
+          apply_sync_at_receiver(recv_state, sender, domain, msg, snapshot,
+                                 stats_);
+        });
     return;
   }
 
@@ -214,11 +215,11 @@ void SemanticEdgeSystem::ship_sync(PendingShip ship) {
   const auto send_attempt = [this, &fwd](double after, std::size_t bytes,
                                          edge::Simulator::Handler handler) {
     if (after <= 0.0) {
-      fwd.send(sim_, bytes, std::move(handler));
+      fwd.send_concurrent(sim_, bytes, std::move(handler));
     } else {
       sim_.schedule_after(after, [this, &fwd, bytes,
                                   handler = std::move(handler)]() mutable {
-        fwd.send(sim_, bytes, std::move(handler));
+        fwd.send_concurrent(sim_, bytes, std::move(handler));
       });
     }
   };
@@ -286,7 +287,7 @@ void SemanticEdgeSystem::ship_sync(PendingShip ship) {
     topology_.net
         ->link(topology_.edges[payload->receiver_edge],
                topology_.edges[payload->sender_edge])
-        .send(sim_, kSyncAckBytes, [] {});
+        .send_concurrent(sim_, kSyncAckBytes, [] {});
   });
   if (duplicate) {
     ++stats_.sync_duplicates;
@@ -602,7 +603,7 @@ void SemanticEdgeSystem::schedule_delivery(
   const std::size_t payload_bytes = report->payload_bytes;
   auto downlink = [this, &net, r_edge, r_dev, down_bytes,
                    done = std::move(done)]() mutable {
-    net.link(r_edge, r_dev).send(sim_, down_bytes, std::move(done));
+    net.link(r_edge, r_dev).send_concurrent(sim_, down_bytes, std::move(done));
   };
   auto decode = [this, &net, r_edge, dec_flops,
                  downlink = std::move(downlink)]() mutable {
@@ -611,7 +612,8 @@ void SemanticEdgeSystem::schedule_delivery(
   auto backbone = [this, &net, cross_edge, s_edge, r_edge, payload_bytes,
                    decode = std::move(decode)]() mutable {
     if (cross_edge) {
-      net.link(s_edge, r_edge).send(sim_, payload_bytes, std::move(decode));
+      net.link(s_edge, r_edge).send_concurrent(sim_, payload_bytes,
+                                               std::move(decode));
     } else {
       decode();
     }
@@ -620,7 +622,7 @@ void SemanticEdgeSystem::schedule_delivery(
                  backbone = std::move(backbone)]() mutable {
     net.node(s_edge).submit_compute(sim_, enc_flops, std::move(backbone));
   };
-  net.link(s_dev, s_edge).send(sim_, up_bytes, std::move(encode));
+  net.link(s_dev, s_edge).send_concurrent(sim_, up_bytes, std::move(encode));
 }
 
 void SemanticEdgeSystem::transmit_many(

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 
 namespace semcache::edge {
 
@@ -16,6 +17,8 @@ Link::Link(LinkId id, NodeId from, NodeId to, double bandwidth_bps,
       propagation_(propagation_s) {
   SEMCACHE_CHECK(bandwidth_bps > 0.0, "Link: bandwidth must be positive");
   SEMCACHE_CHECK(propagation_s >= 0.0, "Link: negative propagation delay");
+  std::uint64_t seed = static_cast<std::uint64_t>(id_);
+  lane_key_ = semcache::splitmix64(seed);
 }
 
 double Link::transfer_time(std::size_t bytes) const {
@@ -37,13 +40,45 @@ void Link::set_flap_schedule(double period_s, double down_s, double phase_s) {
 void Link::add_outage(SimTime start, SimTime end) {
   SEMCACHE_CHECK(start >= 0.0 && end > start,
                  "Link: outage window must satisfy 0 <= start < end");
-  outages_.push_back({start, end});
+  // Merge into the sorted, disjoint list. Every window whose end reaches
+  // the new start and whose start doesn't pass the new end overlaps or
+  // abuts [start, end) — absorb the whole contiguous run into one window
+  // (adjacent windows coalesce too: the union is the same set of
+  // instants, and one window per run is what keeps queries logarithmic).
+  const auto lo = std::lower_bound(
+      outages_.begin(), outages_.end(), start,
+      [](const std::pair<SimTime, SimTime>& w, SimTime s) {
+        return w.second < s;
+      });
+  auto hi = lo;
+  while (hi != outages_.end() && hi->first <= end) {
+    start = std::min(start, hi->first);
+    end = std::max(end, hi->second);
+    ++hi;
+  }
+  if (lo == hi) {
+    outages_.insert(lo, {start, end});
+  } else {
+    lo->first = start;
+    lo->second = end;
+    outages_.erase(lo + 1, hi);
+  }
+}
+
+std::vector<std::pair<SimTime, SimTime>>::const_iterator
+Link::window_covering(SimTime t) const {
+  auto it = std::upper_bound(
+      outages_.begin(), outages_.end(), t,
+      [](SimTime tt, const std::pair<SimTime, SimTime>& w) {
+        return tt < w.first;
+      });
+  if (it == outages_.begin()) return outages_.end();
+  --it;
+  return t < it->second ? it : outages_.end();
 }
 
 bool Link::is_down(SimTime t) const {
-  for (const auto& [start, end] : outages_) {
-    if (t >= start && t < end) return true;
-  }
+  if (window_covering(t) != outages_.end()) return true;
   if (flap_period_ > 0.0) {
     double pos = std::fmod(t - flap_phase_, flap_period_);
     if (pos < 0.0) pos += flap_period_;
@@ -53,16 +88,19 @@ bool Link::is_down(SimTime t) const {
 }
 
 SimTime Link::next_up(SimTime t) const {
-  // Each iteration jumps to the end of one outage window; windows are
-  // finite and non-overlapping in practice, so this terminates fast. The
-  // iteration cap guards a pathological explicit-window pile-up.
-  for (int iter = 0; iter < 1000; ++iter) {
-    if (!is_down(t)) return t;
+  // A flap that never comes up (down == period) has no next-up time; the
+  // explicit windows can't be unbounded — they're finitely many, sorted
+  // and disjoint, so each window is jumped at most once and a flap
+  // down-phase can't cover the instant it just jumped past, which bounds
+  // the walk without an iteration cap.
+  SEMCACHE_CHECK(flap_period_ <= 0.0 || flap_down_ < flap_period_,
+                 "Link::next_up: flap schedule is never up");
+  for (;;) {
     SimTime up = t;
-    for (const auto& [start, end] : outages_) {
-      if (t >= start && t < end) up = std::max(up, end);
-    }
-    if (up == t && flap_period_ > 0.0) {
+    const auto w = window_covering(t);
+    if (w != outages_.end()) {
+      up = w->second;
+    } else if (flap_period_ > 0.0) {
       double pos = std::fmod(t - flap_phase_, flap_period_);
       if (pos < 0.0) pos += flap_period_;
       if (pos < flap_down_) up = t + (flap_down_ - pos);
@@ -74,8 +112,6 @@ SimTime Link::next_up(SimTime t) const {
     if (up <= t) return t;
     t = up;
   }
-  SEMCACHE_CHECK(false, "Link::next_up: unbounded outage schedule");
-  return t;
 }
 
 SimTime Link::send(Simulator& sim, std::size_t bytes,
@@ -98,6 +134,57 @@ SimTime Link::send(Simulator& sim, std::size_t bytes,
   ++transfers_;
   sim.schedule_at(delivered, std::move(on_delivered));
   return delivered;
+}
+
+void Link::send_concurrent(Simulator& sim, std::size_t bytes,
+                           Simulator::Handler on_delivered) {
+  struct Outcome {
+    SimTime delivered = 0.0;
+    bool dropped = false;
+    bool queued = false;
+  };
+  // `at` and the outage policy are captured at the schedule site, where
+  // send() would have read them: the compute phase must not touch the
+  // Simulator, and a policy toggled between this call and the wave must
+  // not retroactively change this send's fate. (now() at wave time
+  // equals now() here anyway — the event runs at its own timestamp.)
+  const SimTime at = sim.now();
+  const OutagePolicy policy = outage_policy_;
+  auto outcome = std::make_shared<Outcome>();
+  sim.schedule_concurrent_at(
+      at, lane_key_, /*prepare=*/nullptr,
+      // Compute: the full serialization/outage math, writing only this
+      // link's own state. Same-link sends share the lane and therefore
+      // run in scheduling order — the same FIFO send() enforces — while
+      // different links' computes fan out in parallel.
+      [this, at, bytes, policy, outcome] {
+        const double serialization =
+            static_cast<double>(bytes) * 8.0 / bandwidth_;
+        SimTime start = std::max(at, busy_until_);
+        if (is_down(start)) {
+          if (policy == OutagePolicy::kDrop) {
+            ++outage_drops_;
+            outcome->dropped = true;
+            return;
+          }
+          start = next_up(start);
+          ++outage_queued_;
+          outcome->queued = true;
+        }
+        busy_until_ = start + serialization;
+        outcome->delivered = start + serialization + propagation_;
+        bytes_carried_ += bytes;
+        ++transfers_;
+      },
+      // Commit: shared sinks and simulator scheduling, ordered.
+      [this, &sim, outcome, fn = std::move(on_delivered)]() mutable {
+        if (outcome->dropped) {
+          if (drop_sink_ != nullptr) ++*drop_sink_;
+          return;
+        }
+        if (outcome->queued && queue_sink_ != nullptr) ++*queue_sink_;
+        sim.schedule_at(outcome->delivered, std::move(fn));
+      });
 }
 
 }  // namespace semcache::edge

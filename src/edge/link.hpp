@@ -12,7 +12,9 @@
 // scheduled, nothing is charged, and kDropped is returned.
 #pragma once
 
+#include <cstdint>
 #include <limits>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -49,6 +51,23 @@ class Link {
   SimTime send(Simulator& sim, std::size_t bytes,
                Simulator::Handler on_delivered);
 
+  /// send() for the parallel timing plane: registers the serialization
+  /// math as a three-phase concurrent event at sim.now() on this link's
+  /// lane, so a wave of sends across many links fans out over the pool
+  /// while each link's FIFO (`busy_until_`) stays serialized in
+  /// scheduling order. The compute phase touches only this link's own
+  /// state; shared sinks and the delivery scheduling happen in the
+  /// commit. Bit-identical timing/accounting to the same sends issued
+  /// through send() at the same timestamps in the same order; a kDrop
+  /// refusal simply never schedules `on_delivered` (there is no return
+  /// value to observe — callers that need the delivery time use send()).
+  void send_concurrent(Simulator& sim, std::size_t bytes,
+                       Simulator::Handler on_delivered);
+
+  /// Lane key for send_concurrent waves (splitmix64 of the link id, so
+  /// small sequential link ids don't collide with other lane keyspaces).
+  std::uint64_t lane_key() const { return lane_key_; }
+
   /// Idle-link transfer latency for `bytes` (serialization + propagation).
   double transfer_time(std::size_t bytes) const;
 
@@ -58,12 +77,16 @@ class Link {
   /// down_s <= 0 clears the schedule.
   void set_flap_schedule(double period_s, double down_s, double phase_s);
   /// Explicit outage window [start, end) (tests and scripted scenarios).
+  /// Windows are kept sorted and coalesced (overlapping or adjacent
+  /// windows merge into one), so queries binary-search a disjoint list.
   void add_outage(SimTime start, SimTime end);
   void set_outage_policy(OutagePolicy policy) { outage_policy_ = policy; }
   OutagePolicy outage_policy() const { return outage_policy_; }
   bool is_down(SimTime t) const;
   /// Earliest time >= t at which the link is up.
   SimTime next_up(SimTime t) const;
+  /// Stored (coalesced) explicit outage windows — memory audits.
+  std::size_t outage_window_count() const { return outages_.size(); }
 
   /// Mirror the outage counters into external sinks (the system wires
   /// SystemStats here; edge:: must not depend on core::). Null clears.
@@ -78,11 +101,17 @@ class Link {
   std::size_t outage_queued() const { return outage_queued_; }
 
  private:
+  /// Covering outage window for t, or outages_.end(). outages_ is sorted
+  /// and disjoint, so at most one window can cover any instant.
+  std::vector<std::pair<SimTime, SimTime>>::const_iterator window_covering(
+      SimTime t) const;
+
   LinkId id_;
   NodeId from_;
   NodeId to_;
   double bandwidth_;
   double propagation_;
+  std::uint64_t lane_key_;
   SimTime busy_until_ = 0.0;
   std::uint64_t bytes_carried_ = 0;
   std::size_t transfers_ = 0;
@@ -90,7 +119,7 @@ class Link {
   double flap_period_ = 0.0;
   double flap_down_ = 0.0;
   double flap_phase_ = 0.0;
-  std::vector<std::pair<SimTime, SimTime>> outages_;
+  std::vector<std::pair<SimTime, SimTime>> outages_;  ///< sorted, disjoint
   OutagePolicy outage_policy_ = OutagePolicy::kQueue;
   std::size_t outage_drops_ = 0;
   std::size_t outage_queued_ = 0;

@@ -1,11 +1,26 @@
 #include "edge/sim.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <exception>
 
 #include "common/check.hpp"
 #include "common/grouping.hpp"
 
 namespace semcache::edge {
+
+namespace {
+
+// Highest differing kSlotBits-group between a tick and the cursor — the
+// wheel level the tick belongs to. 0 when equal; may be >= kLevels (out
+// of horizon), callers decide.
+int level_of(std::uint64_t tick, std::uint64_t cursor) {
+  const std::uint64_t x = tick ^ cursor;
+  if (x == 0) return 0;
+  return (63 - std::countl_zero(x)) / 6;
+}
+
+}  // namespace
 
 void Simulator::schedule_at(SimTime t, Handler fn) {
   SEMCACHE_CHECK(t >= now_, "Simulator: cannot schedule in the past");
@@ -14,7 +29,7 @@ void Simulator::schedule_at(SimTime t, Handler fn) {
   ev.t = t;
   ev.seq = next_seq_++;
   ev.fn = std::move(fn);
-  queue_.push(std::move(ev));
+  push_event(std::move(ev));
 }
 
 void Simulator::schedule_after(SimTime dt, Handler fn) {
@@ -31,11 +46,126 @@ void Simulator::schedule_concurrent_at(SimTime t, std::uint64_t lane,
   ev.t = t;
   ev.seq = next_seq_++;
   ev.fn = std::move(commit);
-  ev.conc = std::make_shared<ConcurrentParts>();
+  ev.conc = std::make_unique<ConcurrentParts>();
   ev.conc->prepare = std::move(prepare);
   ev.conc->compute = std::move(compute);
   ev.conc->lane = lane;
-  queue_.push(std::move(ev));
+  push_event(std::move(ev));
+}
+
+std::uint64_t Simulator::tick_of(SimTime t) const {
+  // t >= 0 by the schedule checks; !(x < y) also routes inf (and any
+  // value the uint64 conversion couldn't represent) into the clamp.
+  const double ticks = t / kTickSeconds;
+  if (!(ticks < static_cast<double>(kClampTick))) return kClampTick;
+  return static_cast<std::uint64_t>(ticks);
+}
+
+void Simulator::push_event(Event ev) {
+  ++size_;
+  const std::uint64_t tk = tick_of(ev.t);
+  if (tk < cursor_) {
+    // The event's tick is already swept (re-entrant same-tick scheduling,
+    // or run_until peeked past it): splice into the ready run at the
+    // exact (t, seq) position. Consumed slots before ready_head_ hold
+    // moved-out husks and are never compared.
+    const auto it = std::upper_bound(
+        ready_.begin() + static_cast<std::ptrdiff_t>(ready_head_),
+        ready_.end(), ev,
+        [](const Event& a, const Event& b) { return earlier(a, b); });
+    ready_.insert(it, std::move(ev));
+    return;
+  }
+  // Far-list invariant: every far tick is strictly greater than every
+  // wheel tick, so a tick at/after the far minimum must join the far
+  // list even when it would fit the wheel horizon.
+  if (tk >= far_min_tick_) {
+    far_.push_back(std::move(ev));
+    return;
+  }
+  if (level_of(tk, cursor_) >= kLevels) {
+    far_min_tick_ = tk;  // tk < far_min_tick_ here, see above
+    far_.push_back(std::move(ev));
+    return;
+  }
+  wheel_insert(std::move(ev), tk);
+}
+
+void Simulator::wheel_insert(Event ev, std::uint64_t tk) {
+  const int level = level_of(tk, cursor_);  // callers guarantee < kLevels
+  const std::size_t s = (tk >> (level * kSlotBits)) & (kSlots - 1);
+  wheel_[static_cast<std::size_t>(level)][s].push_back(std::move(ev));
+  occupied_[static_cast<std::size_t>(level)] |= std::uint64_t{1} << s;
+}
+
+bool Simulator::fill_ready() {
+  if (ready_head_ < ready_.size()) return true;
+  ready_.clear();
+  ready_head_ = 0;
+  if (size_ == 0) return false;
+  for (;;) {
+    // Lowest occupied slot at/after the cursor on the lowest level wins:
+    // lower levels hold nearer ticks by construction.
+    int level = -1;
+    int s = 0;
+    for (int l = 0; l < kLevels; ++l) {
+      const int shift = l * kSlotBits;
+      const std::uint64_t cslot = (cursor_ >> shift) & (kSlots - 1);
+      const std::uint64_t mask =
+          occupied_[static_cast<std::size_t>(l)] & (~std::uint64_t{0} << cslot);
+      if (mask != 0) {
+        level = l;
+        s = std::countr_zero(mask);
+        break;
+      }
+    }
+    if (level < 0) {
+      // Wheels empty; reseed the horizon from the far list. Jump the
+      // cursor to the far minimum and migrate whatever now fits.
+      SEMCACHE_CHECK(!far_.empty(), "Simulator: pending count out of sync");
+      cursor_ = far_min_tick_;
+      std::vector<Event> keep;
+      std::uint64_t keep_min = ~std::uint64_t{0};
+      for (Event& ev : far_) {
+        const std::uint64_t tk = tick_of(ev.t);
+        if (level_of(tk, cursor_) < kLevels) {
+          wheel_insert(std::move(ev), tk);
+        } else {
+          keep_min = std::min(keep_min, tk);
+          keep.push_back(std::move(ev));
+        }
+      }
+      far_ = std::move(keep);
+      far_min_tick_ = keep_min;
+      continue;
+    }
+    const int shift = level * kSlotBits;
+    if (level == 0) {
+      // One level-0 slot is one exact tick: take its events (storage
+      // swap, no copies), restore the (t, seq) total order, advance.
+      auto& slot = wheel_[0][static_cast<std::size_t>(s)];
+      ready_.swap(slot);
+      occupied_[0] &= ~(std::uint64_t{1} << s);
+      std::sort(ready_.begin(), ready_.end(),
+                [](const Event& a, const Event& b) { return earlier(a, b); });
+      const std::uint64_t tick =
+          ((cursor_ >> kSlotBits) << kSlotBits) | static_cast<std::uint64_t>(s);
+      cursor_ = tick + 1;
+      return true;
+    }
+    // Cascade: enter the higher-level slot (zeroing the cursor's lower
+    // digits — a no-op when s equals the cursor's own slot, since the
+    // lower digits are already zero then) and re-bucket its events one
+    // or more levels down. Each event cascades at most kLevels times.
+    std::vector<Event> batch;
+    batch.swap(wheel_[static_cast<std::size_t>(level)][static_cast<std::size_t>(s)]);
+    occupied_[static_cast<std::size_t>(level)] &= ~(std::uint64_t{1} << s);
+    const std::uint64_t slot_start =
+        ((cursor_ >> (shift + kSlotBits)) << (shift + kSlotBits)) |
+        (static_cast<std::uint64_t>(s) << shift);
+    if (slot_start > cursor_) cursor_ = slot_start;
+    for (Event& ev : batch) wheel_insert(std::move(ev), tick_of(ev.t));
+  }
 }
 
 void Simulator::run() {
@@ -48,15 +178,14 @@ void Simulator::run_until(SimTime t) {
   // moves backwards and pending events stay queued. (Previously a hard
   // error; drivers that poll "advance to max(t, now)" shouldn't have to
   // pre-clamp themselves. Pinned in test_edge.)
-  while (!queue_.empty() && queue_.top().t <= t) step();
+  while (fill_ready() && ready_[ready_head_].t <= t) step();
   if (t > now_) now_ = t;
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  // Move the handler out before popping so re-entrant scheduling is safe.
-  Event ev = queue_.top();
-  queue_.pop();
+  if (!fill_ready()) return false;
+  Event ev = std::move(ready_[ready_head_++]);
+  --size_;
   now_ = ev.t;
   if (ev.conc == nullptr) {
     ++processed_;
@@ -65,13 +194,16 @@ bool Simulator::step() {
   }
   // Concurrent wave: the maximal run of consecutive (by queue order)
   // concurrent events at this timestamp. An ordinary event interleaved by
-  // scheduling order surfaces as the queue top and ends the wave.
+  // scheduling order sits next in the ready run and ends the wave; events
+  // at the same time always share a tick, so the whole wave is already in
+  // the ready run — no refill can be needed mid-collection.
   std::vector<Event> wave;
   wave.push_back(std::move(ev));
-  while (!queue_.empty() && queue_.top().conc != nullptr &&
-         queue_.top().t == wave.front().t) {
-    wave.push_back(queue_.top());
-    queue_.pop();
+  while (ready_head_ < ready_.size() &&
+         ready_[ready_head_].conc != nullptr &&
+         ready_[ready_head_].t == wave.front().t) {
+    wave.push_back(std::move(ready_[ready_head_++]));
+    --size_;
   }
   run_wave(wave);
   return true;

@@ -4,6 +4,32 @@
 // same timestamp execute in scheduling order — simulations are bit-for-bit
 // reproducible run to run.
 //
+// Queue structure: a hierarchical timing wheel (kLevels levels of kSlots
+// slots over a kTickSeconds quantum), the classic O(1)-amortized timer
+// structure (osmocom's sched_gsmtime frame scheduler is the shape), chosen
+// over a binary heap because city-scale topologies carry millions of
+// concurrent timers — delivery chains, sync backoff ladders, flap
+// schedules — and the heap's O(log n) sift (which COPIES std::function
+// closures on every pop; priority_queue has no destructive top) dominated
+// the serving profile (BM_SimulatorEventLoop/{1000,100000} pins the
+// near-flat per-event cost).
+//
+//  * schedule: the event's quantized tick is radix-bucketed against the
+//    wheel cursor — level = highest differing kSlotBits group, O(1).
+//  * pop: per-level occupancy bitmaps skip empty slots with bit scans;
+//    entering a higher-level slot cascades its events one level down
+//    (each event cascades at most kLevels times — O(1) amortized). A
+//    drained level-0 slot becomes the sorted READY RUN; events are MOVED
+//    out, never copied.
+//  * determinism: one level-0 slot holds exactly one tick; sorting the
+//    ready run by (time, seq) reproduces the heap's total order exactly.
+//    Quantization is a bucketing choice only — it never reorders events,
+//    so wave formation (below) is unchanged.
+//  * horizon: events beyond the top level's reach (and times too large to
+//    tick at all) wait in an overflow far list; when the wheels drain,
+//    the cursor jumps to the far list's earliest tick and the newly
+//    in-horizon events migrate in.
+//
 // Concurrent phase: schedule_concurrent_at() registers THREE-PHASE events
 // for the deterministic parallel phase. When the queue head is a
 // concurrent event, the maximal run of consecutive (by queue order)
@@ -37,10 +63,10 @@
 // pair cannot silently discard its siblings' already-popped events.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -54,6 +80,12 @@ class Simulator {
  public:
   using Handler = std::function<void()>;
 
+  /// Timing-wheel quantum in simulated seconds. A bucketing granularity
+  /// only: event ORDER is always the exact (time, seq) contract, whatever
+  /// the quantum; it merely sets how far apart two timers must be to land
+  /// in different wheel slots.
+  static constexpr SimTime kTickSeconds = 1e-6;
+
   SimTime now() const { return now_; }
 
   /// Schedule a handler at an absolute time >= now.
@@ -64,8 +96,8 @@ class Simulator {
   /// Schedule a three-phase concurrent event (see file comment). Events
   /// sharing a `lane` key never run their compute phases concurrently
   /// with each other (serving layers key lanes by the state they own,
-  /// e.g. the sending user). `prepare` and `commit` may be null;
-  /// `compute` must not be.
+  /// e.g. the sending user; links key them by link id). `prepare` and
+  /// `commit` may be null; `compute` must not be.
   void schedule_concurrent_at(SimTime t, std::uint64_t lane, Handler prepare,
                               Handler compute, Handler commit);
 
@@ -83,13 +115,13 @@ class Simulator {
   bool step();
 
   std::size_t processed() const { return processed_; }
-  std::size_t pending() const { return queue_.size(); }
+  std::size_t pending() const { return size_; }
 
  private:
   /// Concurrent-phase extras, boxed so ordinary events — the event
-  /// loop's hot path — stay one pointer wider than before the feature
-  /// (a fat Event doubles the queue's sift cost; BM_SimulatorEventLoop
-  /// guards it).
+  /// loop's hot path — stay one pointer wide. Owned by the event and
+  /// moved with it (the old shared_ptr existed only because
+  /// priority_queue::top() forced a copy on every pop).
   struct ConcurrentParts {
     Handler prepare;
     Handler compute;
@@ -99,20 +131,51 @@ class Simulator {
     SimTime t;
     std::uint64_t seq;
     Handler fn;  ///< ordinary handler, or the concurrent event's commit
-    std::shared_ptr<ConcurrentParts> conc;  ///< null for ordinary events
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
-    }
+    std::unique_ptr<ConcurrentParts> conc;  ///< null for ordinary events
   };
 
+  static constexpr int kSlotBits = 6;
+  static constexpr std::size_t kSlots = 64;  // 1u << kSlotBits
+  static constexpr int kLevels = 8;
+  /// Ticks at/above 2^62 (and times whose tick overflows the double ->
+  /// uint64 conversion) clamp into one far bucket; the exact (t, seq)
+  /// sort on drain keeps even those ordered correctly.
+  static constexpr std::uint64_t kClampTick = std::uint64_t{1} << 62;
+
+  static bool earlier(const Event& a, const Event& b) {
+    return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+  }
+
+  std::uint64_t tick_of(SimTime t) const;
+  void push_event(Event ev);
+  void wheel_insert(Event ev, std::uint64_t tk);
+  /// Ensure the ready run holds the next pending tick's events (sorted by
+  /// (t, seq)); false when no events remain anywhere.
+  bool fill_ready();
   void run_wave(std::vector<Event>& wave);
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::size_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::size_t size_ = 0;  ///< pending events, wherever they live
+
+  /// Next tick the wheel scan has not yet swept. Every pending event with
+  /// tick < cursor_ lives in ready_; everything else in wheel_ or far_.
+  std::uint64_t cursor_ = 0;
+  std::array<std::array<std::vector<Event>, kSlots>, kLevels> wheel_;
+  std::array<std::uint64_t, kLevels> occupied_{};  ///< per-level slot bitmaps
+  std::vector<Event> far_;  ///< out-of-horizon overflow, unordered
+  /// Minimum tick on the far list (~0 when empty). Invariant: strictly
+  /// greater than every wheel tick — push_event routes anything at/after
+  /// it to far_, so a horizon reseed can never move the cursor backwards.
+  std::uint64_t far_min_tick_ = ~std::uint64_t{0};
+
+  /// The drained current tick, sorted by (t, seq), consumed from
+  /// ready_head_. Re-entrant scheduling into an already-swept tick
+  /// splices here, keeping the exact global order.
+  std::vector<Event> ready_;
+  std::size_t ready_head_ = 0;
+
   common::ThreadPool* pool_ = nullptr;
 };
 

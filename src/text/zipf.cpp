@@ -11,13 +11,21 @@ ZipfSampler::ZipfSampler(std::size_t n, double alpha) : alpha_(alpha) {
   SEMCACHE_CHECK(n > 0, "ZipfSampler: n must be positive");
   SEMCACHE_CHECK(alpha >= 0.0, "ZipfSampler: alpha must be non-negative");
   cdf_.resize(n);
+  pmf_.resize(n);
   double total = 0.0;
   for (std::size_t r = 0; r < n; ++r) {
-    total += 1.0 / std::pow(static_cast<double>(r + 1), alpha);
+    pmf_[r] = 1.0 / std::pow(static_cast<double>(r + 1), alpha);
+    total += pmf_[r];
     cdf_[r] = total;
   }
   for (double& c : cdf_) c /= total;
-  cdf_.back() = 1.0;  // guard against rounding
+  cdf_.back() = 1.0;  // guard against rounding (sampling only, see pmf)
+  // pmf comes from the raw weights, NOT from cdf differences: the
+  // cancellation in cdf_[r] - cdf_[r-1] loses precision at deep ranks,
+  // and the back() rounding clamp above would silently dump the whole
+  // normalization error into pmf(n-1). weight/total keeps every rank's
+  // mass exact (monotone by construction, sums to 1 up to rounding).
+  for (double& p : pmf_) p /= total;
 }
 
 std::size_t ZipfSampler::sample(Rng& rng) const {
@@ -27,8 +35,8 @@ std::size_t ZipfSampler::sample(Rng& rng) const {
 }
 
 double ZipfSampler::pmf(std::size_t rank) const {
-  SEMCACHE_CHECK(rank < cdf_.size(), "ZipfSampler::pmf: rank out of range");
-  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+  SEMCACHE_CHECK(rank < pmf_.size(), "ZipfSampler::pmf: rank out of range");
+  return pmf_[rank];
 }
 
 }  // namespace semcache::text

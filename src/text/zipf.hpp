@@ -21,6 +21,7 @@ class ZipfSampler {
  private:
   double alpha_;
   std::vector<double> cdf_;  // inclusive cumulative probabilities
+  std::vector<double> pmf_;  // weight_r / total, exact per rank
 };
 
 }  // namespace semcache::text

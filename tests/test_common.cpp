@@ -2,10 +2,13 @@
 // round-trips, bit helpers, and contract checking.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
+#include <string>
 
 #include "common/bits.hpp"
 #include "common/check.hpp"
+#include "common/grouping.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/serialize.hpp"
@@ -294,6 +297,74 @@ TEST(LogOnce, InfoMessagesGatedByWarnDefault) {
                                common::LogLevel::kInfo));
   unsetenv("SEMCACHE_LOG_LEVEL");
   common::log_reset_for_tests();
+}
+
+// Reference implementation of first-appearance grouping: the plain
+// linear scan the hash-indexed fast path must match bit for bit.
+template <typename KeyFn>
+auto naive_group(std::size_t count, const KeyFn& key_of) {
+  using Key = std::decay_t<decltype(key_of(std::size_t{0}))>;
+  common::Grouped<Key> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Key key = key_of(i);
+    std::size_t g = 0;
+    while (g < out.keys.size() && !(out.keys[g] == key)) ++g;
+    if (g == out.keys.size()) {
+      out.keys.push_back(key);
+      out.groups.emplace_back();
+    }
+    out.groups[g].push_back(i);
+  }
+  return out;
+}
+
+TEST(Grouping, HashIndexedPathMatchesLinearScanAtScale) {
+  // Regression: the linear scan was O(n * k) — quadratic in distinct-lane
+  // count for city-scale waves. ~10^4 distinct keys with a duplicate-key
+  // shuffle must produce the identical partition through the indexed path
+  // (first-appearance key order, original index order within groups).
+  const std::size_t n = 30000;
+  const auto key_of = [](std::size_t i) -> std::uint64_t {
+    return (i * 7919u) % 10007u;  // ~10^4 distinct keys, shuffled order
+  };
+  const auto fast = common::group_by_first_appearance(n, key_of);
+  const auto slow = naive_group(n, key_of);
+  ASSERT_EQ(fast.keys.size(), 10007u);
+  EXPECT_EQ(fast.keys, slow.keys);
+  EXPECT_EQ(fast.groups, slow.groups);
+}
+
+TEST(Grouping, StringKeysMatchAcrossTheCutoff) {
+  // String keys, sized to straddle kGroupingLinearCutoff so the mid-run
+  // handover from the scan to the index is covered, with every key
+  // recurring after the handover (duplicate-key shuffle).
+  for (const std::size_t distinct : {3u, 32u, 33u, 200u}) {
+    const auto key_of = [distinct](std::size_t i) {
+      return "lane-" + std::to_string((i * 13) % distinct);
+    };
+    const std::size_t n = distinct * 4;
+    const auto fast = common::group_by_first_appearance(n, key_of);
+    const auto slow = naive_group(n, key_of);
+    ASSERT_EQ(fast.keys.size(), distinct);
+    EXPECT_EQ(fast.keys, slow.keys);
+    EXPECT_EQ(fast.groups, slow.groups);
+  }
+}
+
+TEST(Grouping, UnhashableKeysKeepTheLinearPath) {
+  // Keys without a std::hash specialization must still group correctly
+  // (the indexed path is compiled out for them).
+  struct RawKey {
+    int v;
+    bool operator==(const RawKey& o) const { return v == o.v; }
+  };
+  const auto key_of = [](std::size_t i) { return RawKey{static_cast<int>(i % 7)}; };
+  const auto grouped = common::group_by_first_appearance(100, key_of);
+  ASSERT_EQ(grouped.keys.size(), 7u);
+  for (std::size_t g = 0; g < grouped.groups.size(); ++g) {
+    EXPECT_EQ(grouped.keys[g].v, static_cast<int>(g));
+    for (const std::size_t i : grouped.groups[g]) EXPECT_EQ(i % 7, g);
+  }
 }
 
 }  // namespace

@@ -545,5 +545,183 @@ TEST(Network, LinkAtWalksEveryLink) {
   EXPECT_THROW(net.link_at(net.link_count()), Error);
 }
 
+TEST(LinkOutage, AdjacentWindowsCoalesceAndNextUpHasNoIterationCap) {
+  // Regression: next_up used to walk outage windows one jump per window
+  // under a 1000-iteration cap, so >= 1000 ADJACENT windows (a scripted
+  // storm emitted per-tick) spuriously tripped the "unbounded schedule"
+  // check. add_outage now coalesces adjacent/overlapping windows, so the
+  // whole pile-up is one window and one jump.
+  OutageRig rig;
+  for (int i = 0; i < 1500; ++i) {
+    rig.link->add_outage(static_cast<double>(i) * 0.001,
+                         static_cast<double>(i + 1) * 0.001);
+  }
+  EXPECT_EQ(rig.link->outage_window_count(), 1u);
+  EXPECT_TRUE(rig.link->is_down(0.0));
+  EXPECT_TRUE(rig.link->is_down(1.4999));
+  EXPECT_FALSE(rig.link->is_down(1.5));
+  EXPECT_NEAR(rig.link->next_up(0.0), 1.5, 1e-12);
+  EXPECT_NEAR(rig.link->next_up(0.7321), 1.5, 1e-12);
+}
+
+TEST(LinkOutage, ShuffledOverlappingWindowsMatchBruteForceUnion) {
+  // Windows inserted out of order, overlapping and nested, must answer
+  // is_down/next_up for the exact UNION of the inserted intervals.
+  OutageRig rig;
+  const std::pair<double, double> windows[] = {
+      {5.0, 6.0}, {1.0, 2.0}, {1.5, 3.0}, {0.25, 0.5},
+      {2.9, 3.1}, {5.5, 5.6}, {8.0, 8.5}, {3.1, 3.2},
+  };
+  for (const auto& [s, e] : windows) rig.link->add_outage(s, e);
+  // Union: [0.25,0.5) [1,3.2) [5,6) [8,8.5) -> 4 disjoint windows.
+  EXPECT_EQ(rig.link->outage_window_count(), 4u);
+  for (int k = 0; k < 900; ++k) {
+    const double t = static_cast<double>(k) * 0.01;
+    bool expect_down = false;
+    for (const auto& [s, e] : windows) {
+      if (t >= s && t < e) expect_down = true;
+    }
+    ASSERT_EQ(rig.link->is_down(t), expect_down) << "t=" << t;
+  }
+  EXPECT_NEAR(rig.link->next_up(1.2), 3.2, 1e-12);
+  EXPECT_NEAR(rig.link->next_up(5.5), 6.0, 1e-12);
+  EXPECT_NEAR(rig.link->next_up(7.0), 7.0, 1e-12);
+}
+
+TEST(Simulator, FarHorizonAndClampedTimersRunInOrder) {
+  // Timers beyond the wheel horizon (the overflow far list) and beyond
+  // the tick clamp must still execute in exact (time, seq) order,
+  // interleaved with near-term work and with re-entrant scheduling after
+  // the cursor has jumped far ahead.
+  Simulator sim;
+  std::vector<int> order;
+  const auto mark = [&order](int id) { return [&order, id] { order.push_back(id); }; };
+  sim.schedule_at(5e12 + 2.0, mark(7));  // clamp region (tick >= 2^62)
+  sim.schedule_at(1e-3, mark(1));
+  sim.schedule_at(1e9, mark(4));  // far beyond the 64^8-tick horizon
+  sim.schedule_at(5e12 + 1.0, mark(6));
+  sim.schedule_at(1e9, mark(5));  // same far instant: scheduling order
+  sim.schedule_at(0.0, mark(0));
+  sim.schedule_at(2e-3, [&] {
+    order.push_back(2);
+    sim.schedule_at(2e-3, mark(3));  // re-entrant, same instant
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(sim.processed(), 8u);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.now(), 5e12 + 2.0);
+}
+
+TEST(Link, SendConcurrentMatchesSendTimingAndAccounting) {
+  // The lane-scheduled send must reproduce send()'s FIFO serialization
+  // math, delivery times, and counters exactly — same sends, issued at
+  // the same instants in the same order, through each API.
+  OutageRig direct;
+  OutageRig lane;
+  std::vector<double> direct_arrivals;
+  std::vector<double> lane_arrivals;
+  const auto issue = [](OutageRig& rig, std::vector<double>& arrivals,
+                        bool concurrent) {
+    const auto at = [&arrivals, &rig] {
+      return [&arrivals, &rig] { arrivals.push_back(rig.sim.now()); };
+    };
+    // Two back-to-back at t=0 (FIFO on busy_until_), one mid-flight.
+    if (concurrent) {
+      rig.link->send_concurrent(rig.sim, 1000, at());
+      rig.link->send_concurrent(rig.sim, 1000, at());
+    } else {
+      rig.link->send(rig.sim, 1000, at());
+      rig.link->send(rig.sim, 1000, at());
+    }
+    rig.sim.schedule_at(0.0015, [&rig, &arrivals, at, concurrent] {
+      if (concurrent) {
+        rig.link->send_concurrent(rig.sim, 2000, at());
+      } else {
+        rig.link->send(rig.sim, 2000, at());
+      }
+    });
+    rig.sim.run();
+  };
+  issue(direct, direct_arrivals, false);
+  issue(lane, lane_arrivals, true);
+  ASSERT_EQ(lane_arrivals.size(), 3u);
+  EXPECT_EQ(lane_arrivals, direct_arrivals);
+  EXPECT_EQ(lane.link->transfers(), direct.link->transfers());
+  EXPECT_EQ(lane.link->bytes_carried(), direct.link->bytes_carried());
+}
+
+TEST(Link, SendConcurrentOutagePoliciesMatchSend) {
+  // kDrop refuses without scheduling the handler; kQueue shifts the start
+  // and counts it — identical to send(), including the external sinks.
+  for (const bool concurrent : {false, true}) {
+    OutageRig rig;
+    std::size_t drops = 0;
+    std::size_t queued = 0;
+    rig.link->set_outage_sinks(&drops, &queued);
+    rig.link->add_outage(0.0, 0.5);
+    std::vector<double> arrivals;
+    const auto at = [&arrivals, &rig] { arrivals.push_back(rig.sim.now()); };
+    bool dropped_delivery = false;
+    rig.link->set_outage_policy(OutagePolicy::kDrop);
+    if (concurrent) {
+      rig.link->send_concurrent(rig.sim, 1000,
+                                [&] { dropped_delivery = true; });
+    } else {
+      rig.link->send(rig.sim, 1000, [&] { dropped_delivery = true; });
+    }
+    rig.link->set_outage_policy(OutagePolicy::kQueue);
+    if (concurrent) {
+      rig.link->send_concurrent(rig.sim, 1000, at);
+    } else {
+      rig.link->send(rig.sim, 1000, at);
+    }
+    rig.sim.run();
+    EXPECT_FALSE(dropped_delivery) << "concurrent=" << concurrent;
+    ASSERT_EQ(arrivals.size(), 1u) << "concurrent=" << concurrent;
+    EXPECT_NEAR(arrivals[0], 0.5 + 0.001 + 0.001, 1e-9);
+    EXPECT_EQ(drops, 1u);
+    EXPECT_EQ(queued, 1u);
+    EXPECT_EQ(rig.link->outage_drops(), 1u);
+    EXPECT_EQ(rig.link->outage_queued(), 1u);
+    EXPECT_EQ(rig.link->transfers(), 1u);
+    EXPECT_EQ(rig.link->bytes_carried(), 1000u);
+  }
+}
+
+TEST(Link, SendConcurrentLanesFanOutAcrossLinksUnderAPool) {
+  // Sends on different links at one instant form one wave with per-link
+  // lanes: with a pool attached the computes fan out, and the result is
+  // bit-identical to inline execution (the ThreadPool contract).
+  const auto drive = [](common::ThreadPool* pool) {
+    Network net;
+    const NodeId a = net.add_node("a", NodeKind::kEdgeServer, 1e9);
+    const NodeId b = net.add_node("b", NodeKind::kEdgeServer, 1e9);
+    const NodeId c = net.add_node("c", NodeKind::kDevice, 1e9);
+    const NodeId d = net.add_node("d", NodeKind::kDevice, 1e9);
+    net.connect(a, b, 8e6, 0.001);
+    net.connect(a, c, 4e6, 0.002);
+    net.connect(a, d, 2e6, 0.003);
+    Simulator sim;
+    sim.set_thread_pool(pool);
+    std::vector<std::pair<int, double>> arrivals;
+    Link* links[] = {&net.link(a, b), &net.link(a, c), &net.link(a, d)};
+    for (int round = 0; round < 3; ++round) {
+      for (int l = 0; l < 3; ++l) {
+        links[l]->send_concurrent(sim, 500 * (l + 1), [&arrivals, l, &sim] {
+          arrivals.emplace_back(l, sim.now());
+        });
+      }
+    }
+    sim.run();
+    return arrivals;
+  };
+  common::ThreadPool pool(4);
+  const auto inline_arrivals = drive(nullptr);
+  const auto pooled_arrivals = drive(&pool);
+  ASSERT_EQ(inline_arrivals.size(), 9u);
+  EXPECT_EQ(pooled_arrivals, inline_arrivals);
+}
+
 }  // namespace
 }  // namespace semcache::edge

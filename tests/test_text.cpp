@@ -2,6 +2,7 @@
 // generation invariants (polysemy by construction), idiolects, tokenizer.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 #include <set>
 
@@ -59,6 +60,31 @@ TEST(Zipf, MonotoneDecreasing) {
 TEST(Zipf, AlphaZeroIsUniform) {
   ZipfSampler z(5, 0.0);
   for (std::size_t r = 0; r < 5; ++r) EXPECT_NEAR(z.pmf(r), 0.2, 1e-12);
+}
+
+TEST(Zipf, DeepRankPmfIsExactNotACdfResidual) {
+  // Regression: pmf used to be cdf_[r] - cdf_[r-1] with cdf_.back()
+  // clamped to 1.0, which silently dumped the whole accumulated rounding
+  // error of a long normalization into pmf(n-1) (and lost precision to
+  // cancellation at every deep rank). pmf now comes from the raw
+  // weights, so even at n = 50000 the mass function sums to one, stays
+  // monotone through the very last rank, and the tail matches the
+  // analytic weight/total directly.
+  const std::size_t n = 50000;
+  const double alpha = 1.0;
+  ZipfSampler z(n, alpha);
+  double total = 0.0;
+  for (std::size_t r = 0; r < n; ++r) total += z.pmf(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  for (std::size_t r = 1; r < n; ++r) {
+    ASSERT_LE(z.pmf(r), z.pmf(r - 1)) << "rank " << r;
+  }
+  double norm = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    norm += 1.0 / std::pow(static_cast<double>(r + 1), alpha);
+  }
+  const double expected_last = (1.0 / static_cast<double>(n)) / norm;
+  EXPECT_NEAR(z.pmf(n - 1), expected_last, expected_last * 1e-9);
 }
 
 TEST(Zipf, EmpiricalMatchesPmf) {
