@@ -150,6 +150,12 @@ void Link::send_concurrent(Simulator& sim, std::size_t bytes,
   // equals now() here anyway — the event runs at its own timestamp.)
   const SimTime at = sim.now();
   const OutagePolicy policy = outage_policy_;
+  // The delivery event's insertion seq is reserved HERE, where send()
+  // would have allocated it, and the commit schedules with it — so a
+  // same-timestamp event the caller schedules between this call and the
+  // wave breaks the tie exactly as under send(). A kDrop refusal simply
+  // leaves the reservation unused (seq gaps are harmless).
+  const std::uint64_t delivery_seq = sim.reserve_seq();
   auto outcome = std::make_shared<Outcome>();
   sim.schedule_concurrent_at(
       at, lane_key_, /*prepare=*/nullptr,
@@ -177,13 +183,15 @@ void Link::send_concurrent(Simulator& sim, std::size_t bytes,
         ++transfers_;
       },
       // Commit: shared sinks and simulator scheduling, ordered.
-      [this, &sim, outcome, fn = std::move(on_delivered)]() mutable {
+      [this, &sim, outcome, delivery_seq,
+       fn = std::move(on_delivered)]() mutable {
         if (outcome->dropped) {
           if (drop_sink_ != nullptr) ++*drop_sink_;
           return;
         }
         if (outcome->queued && queue_sink_ != nullptr) ++*queue_sink_;
-        sim.schedule_at(outcome->delivered, std::move(fn));
+        sim.schedule_at_reserved(outcome->delivered, delivery_seq,
+                                 std::move(fn));
       });
 }
 

@@ -58,9 +58,13 @@ class Link {
   /// scheduling order. The compute phase touches only this link's own
   /// state; shared sinks and the delivery scheduling happen in the
   /// commit. Bit-identical timing/accounting to the same sends issued
-  /// through send() at the same timestamps in the same order; a kDrop
-  /// refusal simply never schedules `on_delivered` (there is no return
-  /// value to observe — callers that need the delivery time use send()).
+  /// through send() at the same timestamps in the same order — including
+  /// same-timestamp ordering against other events the caller schedules
+  /// after this call (the delivery's insertion seq is reserved at call
+  /// time, where send() would have allocated it, not at the wave's
+  /// commit); a kDrop refusal simply never schedules `on_delivered`
+  /// (there is no return value to observe — callers that need the
+  /// delivery time use send()).
   void send_concurrent(Simulator& sim, std::size_t bytes,
                        Simulator::Handler on_delivered);
 

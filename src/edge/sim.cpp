@@ -37,6 +37,17 @@ void Simulator::schedule_after(SimTime dt, Handler fn) {
   schedule_at(now_ + dt, std::move(fn));
 }
 
+void Simulator::schedule_at_reserved(SimTime t, std::uint64_t seq,
+                                     Handler fn) {
+  SEMCACHE_CHECK(t >= now_, "Simulator: cannot schedule in the past");
+  SEMCACHE_CHECK(fn != nullptr, "Simulator: null handler");
+  Event ev;
+  ev.t = t;
+  ev.seq = seq;
+  ev.fn = std::move(fn);
+  push_event(std::move(ev));
+}
+
 void Simulator::schedule_concurrent_at(SimTime t, std::uint64_t lane,
                                        Handler prepare, Handler compute,
                                        Handler commit) {
@@ -104,6 +115,27 @@ bool Simulator::fill_ready() {
   ready_head_ = 0;
   if (size_ == 0) return false;
   for (;;) {
+    // A level-0 drain's `cursor_ = tick + 1` can CARRY into a new
+    // higher-level slot (…63 -> …64 flips a higher digit) without passing
+    // through the cascade below, leaving events for the just-entered
+    // window parked above level 0. Re-bucket the cursor's OWN slot at
+    // those levels before trusting the scan — otherwise a later event
+    // pushed into level 0 (e.g. re-entrantly from the carrying tick's
+    // handler) would drain ahead of the earlier parked ones. A carry
+    // into level l zeroes every digit below l, so level l needs checking
+    // only while the cursor's lower digits are all zero — one test on
+    // the hot path — and a re-bucketed event differs from the cursor in
+    // its new level's digit, so it can never land in a cursor-own slot
+    // and one pass suffices.
+    for (int l = 1; l < kLevels; ++l) {
+      if ((cursor_ & ((std::uint64_t{1} << (l * kSlotBits)) - 1)) != 0) break;
+      const std::size_t cs = (cursor_ >> (l * kSlotBits)) & (kSlots - 1);
+      if ((occupied_[static_cast<std::size_t>(l)] >> cs & 1) == 0) continue;
+      std::vector<Event> batch;
+      batch.swap(wheel_[static_cast<std::size_t>(l)][cs]);
+      occupied_[static_cast<std::size_t>(l)] &= ~(std::uint64_t{1} << cs);
+      for (Event& ev : batch) wheel_insert(std::move(ev), tick_of(ev.t));
+    }
     // Lowest occupied slot at/after the cursor on the lowest level wins:
     // lower levels hold nearer ticks by construction.
     int level = -1;
@@ -153,10 +185,10 @@ bool Simulator::fill_ready() {
       cursor_ = tick + 1;
       return true;
     }
-    // Cascade: enter the higher-level slot (zeroing the cursor's lower
-    // digits — a no-op when s equals the cursor's own slot, since the
-    // lower digits are already zero then) and re-bucket its events one
-    // or more levels down. Each event cascades at most kLevels times.
+    // Cascade: enter the higher-level slot (s > the cursor's own slot —
+    // the pre-pass above already emptied that one), zeroing the cursor's
+    // lower digits, and re-bucket its events one or more levels down.
+    // Each event cascades at most kLevels times.
     std::vector<Event> batch;
     batch.swap(wheel_[static_cast<std::size_t>(level)][static_cast<std::size_t>(s)]);
     occupied_[static_cast<std::size_t>(level)] &= ~(std::uint64_t{1} << s);

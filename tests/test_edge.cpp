@@ -651,6 +651,27 @@ TEST(Link, SendConcurrentMatchesSendTimingAndAccounting) {
   EXPECT_EQ(lane.link->bytes_carried(), direct.link->bytes_carried());
 }
 
+TEST(Link, SendConcurrentDeliveryOrdersAsIfScheduledAtCallTime) {
+  // The delivery event's insertion seq is reserved when send_concurrent is
+  // CALLED — where send() would have allocated it — not when the wave
+  // commit schedules it. So an event the caller schedules at the delivery
+  // timestamp between the call and the wave breaks the tie identically
+  // under both APIs: the delivery fires first.
+  for (const bool concurrent : {false, true}) {
+    OutageRig rig;
+    std::vector<int> order;
+    const double delivered = rig.link->transfer_time(1000);
+    if (concurrent) {
+      rig.link->send_concurrent(rig.sim, 1000, [&] { order.push_back(0); });
+    } else {
+      rig.link->send(rig.sim, 1000, [&] { order.push_back(0); });
+    }
+    rig.sim.schedule_at(delivered, [&] { order.push_back(1); });
+    rig.sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1})) << "concurrent=" << concurrent;
+  }
+}
+
 TEST(Link, SendConcurrentOutagePoliciesMatchSend) {
   // kDrop refuses without scheduling the handler; kQueue shifts the start
   // and counts it — identical to send(), including the external sinks.

@@ -181,7 +181,7 @@ class Driver {
  private:
   static double root_time(std::uint64_t r) {
     const std::uint64_t v = (r >> 8) % 5;
-    switch (r % 6) {
+    switch (r % 7) {
       case 0:  // sub-tick spacing inside tick 0
         return static_cast<double>(v) * 1e-7;
       case 1:  // duplicate-heavy msec grid
@@ -192,6 +192,10 @@ class Driver {
         return 1e9 + static_cast<double>(v);
       case 4:  // clamp region (tick >= 2^62)
         return 5e12 + static_cast<double>(v) * 1e11;
+      case 5:  // last tick of consecutive level-0 slots (tick 63 mod 64):
+               // draining one makes `cursor_ = tick + 1` CARRY into a new
+               // higher-level slot, the hole the cascade pre-pass plugs
+        return 63e-6 + static_cast<double>(v) * 64e-6;
       default:
         return static_cast<double>(v) * 0.37e-4;
     }
@@ -228,9 +232,13 @@ class Driver {
     const int n = static_cast<int>(splitmix64(s) % 3);
     for (int c = 0; c < n; ++c) {
       const std::uint64_t r = splitmix64(s);
-      static constexpr double kDts[] = {0.0, 1e-7, 2.5e-7, 1e-3, 0.05, 1.0};
+      // 27e-6 from a tick-63-mod-64 parent lands a fresh level-0 event in
+      // the slot window the carry just entered, ahead of anything still
+      // parked at higher levels — the re-entrant shape of the carry bug.
+      static constexpr double kDts[] = {0.0,  1e-7, 2.5e-7, 27e-6,
+                                        1e-3, 0.05, 1.0};
       const long long id = next_child_++;
-      schedule_op(id, sim_.now() + kDts[r % 6], (r >> 3) % 2 != 0,
+      schedule_op(id, sim_.now() + kDts[r % 7], (r >> 3) % 2 != 0,
                   (r >> 4) % 4, depth + 1);
     }
   }
@@ -293,6 +301,30 @@ TEST(SimWheelFuzz, DenseRandomScheduleRunsInOrder) {
     ASSERT_TRUE(times[a] < times[b] || (times[a] == times[b] && a < b))
         << "out of order at position " << k;
   }
+}
+
+// Regression for the level-0 carry hole: draining tick 63 sets the cursor
+// to 64 — entering a new level-1 slot — without passing through the
+// cascade path, so an event already parked in that slot (A@74 ticks,
+// inserted while the cursor was still in the previous window) stayed at
+// level 1. An event the tick-63 handler then schedules into the new
+// window (B@90 ticks, level 0 relative to cursor 64) must not overtake
+// it; pre-fix the wheel ran B before A, then re-bucketed stale A below
+// the cursor and aborted with "pending count out of sync". Handler-driven
+// rescheduling is exactly Link's delivery-chain shape, so this ordering
+// is load-bearing, not a corner case.
+TEST(SimWheelFuzz, CarryIntoOccupiedHigherSlotCascadesBeforeLevel0) {
+  edge::Simulator sim;
+  std::vector<char> order;
+  sim.schedule_at(74e-6, [&] { order.push_back('A'); });
+  sim.schedule_at(63.5e-6, [&] {
+    order.push_back('X');
+    sim.schedule_at(90e-6, [&] { order.push_back('B'); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<char>{'X', 'A', 'B'}));
+  EXPECT_EQ(sim.processed(), 3u);
+  EXPECT_EQ(sim.pending(), 0u);
 }
 
 }  // namespace
