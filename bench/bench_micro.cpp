@@ -11,6 +11,8 @@
 #include "core/system.hpp"
 #include "channel/convolutional.hpp"
 #include "channel/modulation.hpp"
+#include "channel/physical.hpp"
+#include "common/cpu.hpp"
 #include "compress/huffman.hpp"
 #include "edge/sim.hpp"
 #include "fl/compressor.hpp"
@@ -33,7 +35,7 @@ static void BM_TensorMatmul(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n * n * n));
 }
-BENCHMARK(BM_TensorMatmul)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_TensorMatmul)->Arg(16)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
 // Non-square shapes exercise the blocked kernel's remainder paths: the
 // codec's forward/backward shapes (skinny), plus tall and wide panels.
@@ -506,6 +508,45 @@ static void BM_SimulatorEventLoop(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorEventLoop)->Arg(1000)->Arg(100000);
 
+// Vectorized channel floor, both dispatch tiers in one capture: the full
+// bit-pipeline a transmit pays per message — conv encode, 16-QAM map,
+// AWGN, hard demap, Viterbi decode — on a 4096-bit payload. Arg(0) pins
+// the scalar kernels, Arg(1) the AVX2 tier (identical to scalar when the
+// host lacks AVX2+FMA, so the ratio reads 1.0 there rather than lying).
+// Output bits are tier-invariant by contract (test_simd), so the rows
+// differ in wall time only. The wall is dominated by the scalar gaussian
+// draws and the modulation LUT walk, so the tier gap here is small by
+// design — it guards against the dispatch layer ADDING overhead; the
+// per-kernel wins read from BM_ViterbiDecode and BM_TensorMatmul.
+static void BM_ChannelBatchSimd(benchmark::State& state) {
+  const auto tier = state.range(0) == 0 ? common::SimdTier::kScalar
+                                        : common::SimdTier::kAvx2;
+  const common::SimdTier prev = common::set_simd_tier(tier);
+  Rng bits_rng(21);
+  BitVec info(4096);
+  for (auto& b : info) b = bits_rng.bernoulli(0.5) ? 1 : 0;
+  channel::ConvolutionalCode code;
+  channel::AwgnChannel awgn(8.0);
+  const BitVec coded = code.encode(info);
+  for (auto _ : state) {
+    std::vector<channel::Symbol> symbols =
+        channel::modulate(coded, channel::Modulation::kQam16);
+    Rng noise_rng(77);
+    awgn.apply(symbols, noise_rng);
+    const BitVec received =
+        channel::demodulate(symbols, channel::Modulation::kQam16,
+                            coded.size());
+    benchmark::DoNotOptimize(code.decode(received));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(info.size()));
+  state.SetLabel(tier == common::SimdTier::kAvx2
+                     ? tensor::active_matmul_path()
+                     : "scalar");
+  common::set_simd_tier(prev);
+}
+BENCHMARK(BM_ChannelBatchSimd)->Arg(0)->Arg(1);
+
 static void BM_Modulate16Qam(benchmark::State& state) {
   Rng rng(9);
   BitVec bits(4096);
@@ -518,4 +559,18 @@ static void BM_Modulate16Qam(benchmark::State& state) {
 }
 BENCHMARK(BM_Modulate16Qam);
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): stamp the engaged SIMD path
+// into the Google Benchmark context so every JSON capture records which
+// ISA actually ran (the tier is a runtime choice — the binary alone
+// doesn't identify the kernels; see README "SIMD kernels").
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("semcache_simd", tensor::active_matmul_path());
+  benchmark::AddCustomContext(
+      "semcache_simd_tier",
+      common::simd_tier_name(common::active_simd_tier()));
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -68,6 +68,11 @@ doc = json.load(open(path))
 raw = os.environ.get("SEMCACHE_THREADS") or "0"
 doc.setdefault("context", {})["semcache_threads"] = \
     int(raw) if raw.isdigit() and int(raw) <= 256 else 0
+# The ENGAGED ISA is already in context.semcache_simd (the binary stamps
+# it via AddCustomContext); record the requested tier alongside so a
+# scalar-pinned capture is distinguishable from an auto one at a glance.
+doc["context"]["semcache_simd_env"] = \
+    os.environ.get("SEMCACHE_SIMD") or "auto"
 json.dump(doc, open(path, "w"), indent=1)
 EOF
     fi
@@ -103,6 +108,9 @@ doc = {
     "bad_lines": bad_lines,
     "threads": int(raw_threads)
                if raw_threads.isdigit() and int(raw_threads) <= 256 else 0,
+    # Requested SIMD tier (the e-bench binaries resolve it at runtime,
+    # same policy as the library): a perf row must name its ISA.
+    "simd": os.environ.get("SEMCACHE_SIMD") or "auto",
     "wall_s": round(float(end) - float(start), 3),
     "tables": tables,
 }

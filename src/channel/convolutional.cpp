@@ -1,8 +1,9 @@
 #include "channel/convolutional.hpp"
 
 #include <array>
-#include <limits>
+#include <vector>
 
+#include "channel/simd.hpp"
 #include "common/check.hpp"
 
 namespace semcache::channel {
@@ -32,6 +33,70 @@ Transition transition(std::uint8_t state, std::uint8_t input) {
   t.next_state = static_cast<std::uint8_t>(reg >> 1);
   return t;
 }
+
+// Build the add-compare-select tables once: for every received dibit and
+// next-state, the branch metric through each of the two predecessors plus
+// the packed survivor bytes. Indexing by NEXT state (not by source state)
+// is what lets one pass update all four metrics with no transition scan.
+detail::ViterbiTables build_viterbi_tables() {
+  detail::ViterbiTables tb{};
+  for (std::uint8_t ns = 0; ns < 4; ++ns) {
+    const std::uint8_t in = ns >> 1;  // input bit that reaches ns
+    const std::uint8_t pa = detail::kViterbiPredA[ns];
+    const std::uint8_t pb = detail::kViterbiPredB[ns];
+    const Transition ta = transition(pa, in);
+    const Transition tb_ = transition(pb, in);
+    SEMCACHE_CHECK(ta.next_state == ns && tb_.next_state == ns,
+                   "conv: predecessor table inconsistent");
+    tb.surv_a[ns] = static_cast<std::uint8_t>((in << 4) | pa);
+    tb.surv_b[ns] = static_cast<std::uint8_t>((in << 4) | pb);
+    for (std::uint8_t rx = 0; rx < 4; ++rx) {
+      const std::uint8_t r0 = rx & 1;
+      const std::uint8_t r1 = (rx >> 1) & 1;
+      tb.bm_a[rx][ns] = static_cast<std::uint32_t>((ta.out0 != r0) + (ta.out1 != r1));
+      tb.bm_b[rx][ns] = static_cast<std::uint32_t>((tb_.out0 != r0) + (tb_.out1 != r1));
+    }
+  }
+  return tb;
+}
+
+// Metric + branch with the sentinel as a saturation ceiling: a metric can
+// never exceed kViterbiInf, so the old size_t arithmetic's latent wrap on
+// pathologically long frames (sentinel + branch overflowing and beating a
+// real path) is structurally impossible. Reachable metrics (<= 2 per
+// step) are far below the ceiling, so results are unchanged.
+std::uint32_t sat_add(std::uint32_t metric, std::uint32_t branch) {
+  const std::uint32_t cand = metric + branch;
+  return cand < detail::kViterbiInf ? cand : detail::kViterbiInf;
+}
+
+// Scalar ACS over the information steps; same contract as the SSE kernel
+// (channel/simd.hpp). Predecessor A is the lower source state — the one
+// the old ascending-s scan visited first — so ties keep A, and B wins only
+// strictly, preserving the survivor choice bit-for-bit.
+void viterbi_acs_scalar(const detail::ViterbiTables& tb,
+                        const std::uint8_t* rx, std::size_t info_steps,
+                        std::uint32_t* metric, std::uint8_t* survivor) {
+  for (std::size_t t = 0; t < info_steps; ++t) {
+    const std::uint8_t r = rx[t];
+    std::uint32_t next[4];
+    std::uint8_t* sv = survivor + 4 * t;
+    for (std::size_t ns = 0; ns < 4; ++ns) {
+      const std::uint32_t ca =
+          sat_add(metric[detail::kViterbiPredA[ns]], tb.bm_a[r][ns]);
+      const std::uint32_t cb =
+          sat_add(metric[detail::kViterbiPredB[ns]], tb.bm_b[r][ns]);
+      if (cb < ca) {
+        next[ns] = cb;
+        sv[ns] = tb.surv_b[ns];
+      } else {
+        next[ns] = ca;
+        sv[ns] = tb.surv_a[ns];
+      }
+    }
+    for (std::size_t ns = 0; ns < 4; ++ns) metric[ns] = next[ns];
+  }
+}
 }  // namespace
 
 BitVec ConvolutionalCode::encode(const BitVec& info) const {
@@ -57,46 +122,63 @@ BitVec ConvolutionalCode::decode(const BitVec& coded) const {
                  "conv: coded stream shorter than the termination tail");
   const std::size_t info_len = steps - (kConstraint - 1);
 
-  constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max() / 2;
-  std::array<std::size_t, kStates> metric;
-  metric.fill(kInf);
+  static const detail::ViterbiTables kTables = build_viterbi_tables();
+
+  // Received dibits, packed once so the ACS inner loop does one table
+  // index per step instead of re-deriving branch metrics per transition.
+  std::vector<std::uint8_t> rx(steps);
+  for (std::size_t t = 0; t < steps; ++t) {
+    rx[t] = static_cast<std::uint8_t>((coded[2 * t] & 1) |
+                                      ((coded[2 * t + 1] & 1) << 1));
+  }
+
+  std::array<std::uint32_t, kStates> metric;
+  metric.fill(detail::kViterbiInf);
   metric[0] = 0;  // encoder starts in the zero state
 
-  // survivor[t][s] = (previous state, input bit) packed into one byte.
-  std::vector<std::array<std::uint8_t, kStates>> survivor(
-      steps, std::array<std::uint8_t, kStates>{});
+  // survivor[4 * t + s] = (input << 4) | previous state. Dead next-states
+  // keep a saturated metric; the zero-tail traceback never visits them.
+  std::vector<std::uint8_t> survivor(4 * steps, 0);
 
-  for (std::size_t t = 0; t < steps; ++t) {
-    const std::uint8_t r0 = coded[2 * t] & 1;
-    const std::uint8_t r1 = coded[2 * t + 1] & 1;
-    std::array<std::size_t, kStates> next;
-    next.fill(kInf);
-    std::array<std::uint8_t, kStates> surv{};
-    for (std::uint8_t s = 0; s < kStates; ++s) {
-      if (metric[s] >= kInf) continue;
-      // During the tail, only input 0 is possible.
-      const int max_input = (t >= info_len) ? 0 : 1;
-      for (int in = 0; in <= max_input; ++in) {
-        const Transition tr = transition(s, static_cast<std::uint8_t>(in));
-        const std::size_t branch =
-            static_cast<std::size_t>((tr.out0 != r0) + (tr.out1 != r1));
-        const std::size_t cand = metric[s] + branch;
-        if (cand < next[tr.next_state]) {
-          next[tr.next_state] = cand;
-          surv[tr.next_state] =
-              static_cast<std::uint8_t>((in << 4) | s);  // pack (input, prev)
-        }
+  const detail::Avx2ChannelKernels* k = detail::engaged_channel_kernels();
+  if (k != nullptr) {
+    k->viterbi_acs(kTables, rx.data(), info_len, metric.data(),
+                   survivor.data());
+  } else {
+    viterbi_acs_scalar(kTables, rx.data(), info_len, metric.data(),
+                       survivor.data());
+  }
+
+  // Tail steps admit only input 0 (next-states 0 and 1); states 2 and 3
+  // become unreachable and keep survivor byte 0, like the old decoder.
+  for (std::size_t t = info_len; t < steps; ++t) {
+    const std::uint8_t r = rx[t];
+    std::uint32_t next[2];
+    std::uint8_t* sv = survivor.data() + 4 * t;
+    for (std::size_t ns = 0; ns < 2; ++ns) {
+      const std::uint32_t ca =
+          sat_add(metric[detail::kViterbiPredA[ns]], kTables.bm_a[r][ns]);
+      const std::uint32_t cb =
+          sat_add(metric[detail::kViterbiPredB[ns]], kTables.bm_b[r][ns]);
+      if (cb < ca) {
+        next[ns] = cb;
+        sv[ns] = kTables.surv_b[ns];
+      } else {
+        next[ns] = ca;
+        sv[ns] = kTables.surv_a[ns];
       }
     }
-    metric = next;
-    survivor[t] = surv;
+    metric[0] = next[0];
+    metric[1] = next[1];
+    metric[2] = detail::kViterbiInf;
+    metric[3] = detail::kViterbiInf;
   }
 
   // Traceback from state 0 (guaranteed by the zero tail).
   BitVec decoded(steps, 0);
   std::uint8_t state = 0;
   for (std::size_t t = steps; t-- > 0;) {
-    const std::uint8_t packed = survivor[t][state];
+    const std::uint8_t packed = survivor[4 * t + state];
     decoded[t] = static_cast<std::uint8_t>((packed >> 4) & 1);
     state = packed & 0x0F;
   }

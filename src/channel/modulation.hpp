@@ -22,6 +22,13 @@ std::string modulation_name(Modulation m);
 /// Map bits to symbols; pads with zero bits to a full symbol.
 std::vector<Symbol> modulate(const BitVec& bits, Modulation m);
 
+/// Array-at-a-time hard-decision demap: overwrites `out` with
+/// count * bits_per_symbol(m) bits. Shared entry point for every
+/// demodulation consumer; dispatches to the vectorized slicers when the
+/// active SIMD tier admits them (bit-identical either way).
+void demap_into(BitVec& out, const Symbol* symbols, std::size_t count,
+                Modulation m);
+
 /// Hard-decision demap; returns exactly `bit_count` bits.
 BitVec demodulate(const std::vector<Symbol>& symbols, Modulation m,
                   std::size_t bit_count);

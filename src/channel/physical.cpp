@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <sstream>
+#include <vector>
 
+#include "channel/simd.hpp"
 #include "common/check.hpp"
 
 namespace semcache::channel {
@@ -20,8 +22,20 @@ AwgnChannel::AwgnChannel(double snr_db)
     : snr_db_(snr_db), sigma_(noise_sigma(snr_db)) {}
 
 void AwgnChannel::apply(std::vector<Symbol>& symbols, Rng& rng) {
-  for (Symbol& s : symbols) {
-    s += Symbol(rng.gaussian(0.0, sigma_), rng.gaussian(0.0, sigma_));
+  // Draw the gaussian pairs into a buffer in the original per-symbol order
+  // (the RNG stream is byte-identical to the old fused loop), then add.
+  // Complex addition is elementwise over (re, im), so the buffered add —
+  // scalar or vectorized — changes no bits. The buffer is thread-local:
+  // batched transmit drives one AwgnChannel per worker.
+  static thread_local std::vector<double> noise;
+  noise.resize(2 * symbols.size());
+  for (double& v : noise) v = rng.gaussian(0.0, sigma_);
+  double* data = reinterpret_cast<double*>(symbols.data());
+  const detail::Avx2ChannelKernels* k = detail::engaged_channel_kernels();
+  if (k != nullptr) {
+    k->add_noise(data, noise.data(), noise.size());
+  } else {
+    for (std::size_t i = 0; i < noise.size(); ++i) data[i] += noise[i];
   }
 }
 

@@ -1,0 +1,85 @@
+// Internal seam between the channel plane's dispatching call sites
+// (modulation.cpp, physical.cpp, convolutional.cpp, repetition.cpp) and the
+// AVX2 translation unit (simd_avx2.cpp), mirroring tensor/simd_kernels.hpp.
+//
+// Unlike the matmul family, none of these kernels carries a multiply-add
+// accumulation chain — they are comparisons, table lookups, independent
+// elementwise adds, one IEEE division, and integer arithmetic — so there is
+// no contraction ambiguity, no flavor pair, and no probe: a single vector
+// implementation is bit-identical to the scalar reference on every input
+// (including NaN and signed zero; twin tests pin this).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/cpu.hpp"
+#include "common/log.hpp"
+
+namespace semcache::channel::detail {
+
+/// Precomputed add-compare-select tables for the K=3 rate-1/2 Viterbi
+/// trellis, indexed by the received dibit rx = r0 | (r1 << 1). Next-state
+/// ns has two predecessors: A = kPredA[ns] (the lower state, which the
+/// reference decoder's ascending-s loop visits first and which therefore
+/// wins metric ties) and B = kPredB[ns], both consuming input bit ns >> 1.
+struct ViterbiTables {
+  std::uint32_t bm_a[4][4];  ///< [rx][ns] branch metric via predecessor A
+  std::uint32_t bm_b[4][4];  ///< [rx][ns] branch metric via predecessor B
+  std::uint8_t surv_a[4];    ///< [ns] packed (input << 4) | predecessor A
+  std::uint8_t surv_b[4];    ///< [ns] packed (input << 4) | predecessor B
+};
+
+inline constexpr std::uint8_t kViterbiPredA[4] = {0, 2, 0, 2};
+inline constexpr std::uint8_t kViterbiPredB[4] = {1, 3, 1, 3};
+
+/// Saturation ceiling for path metrics. Well below INT32_MAX so the SSE
+/// signed compares are exact, far above any reachable metric (2 per step):
+/// metrics cap here instead of wrapping on pathologically long frames.
+inline constexpr std::uint32_t kViterbiInf = 1u << 30;
+
+/// Run the add-compare-select recursion for the information steps
+/// [0, info_steps): metric[4] is updated in place and survivor bytes are
+/// written to survivor[t * 4 + ns]. Tail steps stay with the caller (they
+/// admit only input 0 and are at most K-1 = 2 steps).
+using ViterbiAcsFn = void (*)(const ViterbiTables& tables,
+                              const std::uint8_t* rx, std::size_t info_steps,
+                              std::uint32_t* metric, std::uint8_t* survivor);
+
+struct Avx2ChannelKernels {
+  /// Hard-decision demaps over the raw (re, im) double pairs of a symbol
+  /// array; bits out one byte per bit, exactly as the scalar demap writes.
+  void (*demod_bpsk)(const double* sym, std::size_t nsym, std::uint8_t* bits);
+  void (*demod_qpsk)(const double* sym, std::size_t nsym, std::uint8_t* bits);
+  void (*demod_qam16)(const double* sym, std::size_t nsym, double scale,
+                      std::uint8_t* bits);
+  /// data[i] += noise[i] over n doubles (the AWGN apply after the gaussian
+  /// draws are buffered in their original order).
+  void (*add_noise)(double* data, const double* noise, std::size_t n);
+  ViterbiAcsFn viterbi_acs;
+  /// out[i] = majority(coded[3i], coded[3i+1], coded[3i+2]) for the
+  /// repetition-3 decoder (bytes are 0/1).
+  void (*repetition_vote3)(const std::uint8_t* coded, std::size_t out_n,
+                           std::uint8_t* out);
+};
+
+/// The AVX2 kernel table, or nullptr when this build carries no AVX2 code.
+const Avx2ChannelKernels* avx2_channel_kernels();
+
+/// The table when the AVX2 kernels are built AND the active SIMD tier
+/// admits them; nullptr means run the scalar path. Logs once on first
+/// engagement.
+inline const Avx2ChannelKernels* engaged_channel_kernels() {
+  const Avx2ChannelKernels* k = avx2_channel_kernels();
+  if (k == nullptr ||
+      common::active_simd_tier() != common::SimdTier::kAvx2) {
+    return nullptr;
+  }
+  static const bool logged =
+      common::log_once("simd.channel", "channel kernels: avx2",
+                       common::LogLevel::kInfo);
+  (void)logged;
+  return k;
+}
+
+}  // namespace semcache::channel::detail

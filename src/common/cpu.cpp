@@ -1,0 +1,83 @@
+#include "common/cpu.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "common/log.hpp"
+
+namespace semcache::common {
+
+namespace {
+CpuFeatures detect() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  // GCC/Clang builtin: reads cpuid once and caches; no inline asm needed.
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+  f.fma = __builtin_cpu_supports("fma") != 0;
+#endif
+  return f;
+}
+
+// kScalar/kAvx2 as int; -1 = not yet resolved from the environment.
+std::atomic<int> g_tier{-1};
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures features = detect();
+  return features;
+}
+
+const char* simd_tier_name(SimdTier tier) {
+  return tier == SimdTier::kAvx2 ? "avx2" : "scalar";
+}
+
+SimdTier resolve_simd_tier(const char* env, const CpuFeatures& features) {
+  const SimdTier best =
+      features.avx2 && features.fma ? SimdTier::kAvx2 : SimdTier::kScalar;
+  if (env == nullptr || *env == '\0') return best;
+  const std::string_view v(env);
+  if (v == "scalar") return SimdTier::kScalar;
+  if (v == "avx2") {
+    if (best != SimdTier::kAvx2) {
+      log_once("simd.unsupported",
+               "SEMCACHE_SIMD=avx2 requested but this CPU lacks AVX2+FMA; "
+               "falling back to scalar kernels");
+    }
+    return best;
+  }
+  if (v != "auto") {
+    log_once("simd.badenv", "unrecognized SEMCACHE_SIMD value \"" +
+                                std::string(v) + "\"; treating as auto");
+  }
+  return best;
+}
+
+SimdTier active_simd_tier() {
+  int tier = g_tier.load(std::memory_order_relaxed);
+  if (tier < 0) {
+    const SimdTier resolved =
+        resolve_simd_tier(std::getenv("SEMCACHE_SIMD"), cpu_features());
+    log_once("simd.tier",
+             std::string("SIMD dispatch tier: ") + simd_tier_name(resolved),
+             LogLevel::kInfo);
+    // First resolution wins the race (all racers compute the same value);
+    // a concurrent set_simd_tier's explicit value is not overwritten.
+    int expected = -1;
+    g_tier.compare_exchange_strong(expected, static_cast<int>(resolved),
+                                   std::memory_order_relaxed);
+    tier = g_tier.load(std::memory_order_relaxed);
+  }
+  return static_cast<SimdTier>(tier);
+}
+
+SimdTier set_simd_tier(SimdTier tier) {
+  const CpuFeatures& f = cpu_features();
+  if (tier == SimdTier::kAvx2 && !(f.avx2 && f.fma)) tier = SimdTier::kScalar;
+  const SimdTier previous = active_simd_tier();
+  g_tier.store(static_cast<int>(tier), std::memory_order_relaxed);
+  return previous;
+}
+
+}  // namespace semcache::common

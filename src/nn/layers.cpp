@@ -39,6 +39,41 @@ const Tensor& Linear::backward(const Tensor& grad_out) {
   return dx_;
 }
 
+LinearReLU::LinearReLU(std::size_t in_features, std::size_t out_features,
+                       Rng& rng, std::string name)
+    : name_(std::move(name)),
+      w_(name_ + ".w", Tensor::xavier(in_features, out_features, rng)),
+      b_(name_ + ".b", Tensor::zeros({out_features})) {}
+
+const Tensor& LinearReLU::forward(const Tensor& x) {
+  SEMCACHE_CHECK(x.rank() == 2 && x.dim(1) == w_.value.dim(0),
+                 name_ + ": input shape " + x.shape_string() +
+                     " incompatible with weight " + w_.value.shape_string());
+  last_input_ = x;
+  tensor::affine_relu_into(out_, x, w_.value, b_.value, pool_);
+  return out_;
+}
+
+const Tensor& LinearReLU::backward(const Tensor& grad_out) {
+  SEMCACHE_CHECK(last_input_.size() > 0, name_ + ": backward before forward");
+  SEMCACHE_CHECK(grad_out.same_shape(out_),
+                 name_ + ": backward shape mismatch");
+  // Gate dy through the ReLU first (y == 0 iff the pre-activation was
+  // clamped — same mask rule as the standalone ReLU layer), then run the
+  // ordinary Linear backward on the gated gradient.
+  masked_grad_.resize(grad_out.shape());
+  const float* pg = grad_out.data();
+  const float* py = out_.data();
+  float* pm = masked_grad_.data();
+  for (std::size_t i = 0; i < masked_grad_.size(); ++i) {
+    pm[i] = py[i] <= 0.0f ? 0.0f : pg[i];
+  }
+  matmul_tn_acc(w_.grad, last_input_, masked_grad_);
+  column_sums_acc(b_.grad, masked_grad_);
+  matmul_nt_into(dx_, masked_grad_, w_.value);
+  return dx_;
+}
+
 const Tensor& ReLU::forward(const Tensor& x) {
   out_.resize(x.shape());
   const float* px = x.data();

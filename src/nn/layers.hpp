@@ -87,6 +87,36 @@ class Linear : public Layer {
   common::ThreadPool* pool_ = nullptr;  ///< row-partitions the forward affine
 };
 
+/// y = relu(x W + b), the affine and the clamp fused into one kernel pass
+/// (tensor::affine_relu_into). Drop-in for a Linear immediately followed by
+/// a ReLU: parameters carry the same names and order, so checkpoints and
+/// pretrained-fixture caches recorded against the unfused pair reload
+/// unchanged, and the forward/backward bits match the pair exactly.
+class LinearReLU : public Layer {
+ public:
+  LinearReLU(std::size_t in_features, std::size_t out_features, Rng& rng,
+             std::string name = "linear");
+
+  const Tensor& forward(const Tensor& x) override;
+  const Tensor& backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override { return {&w_, &b_}; }
+  std::string name() const override { return name_; }
+  void set_thread_pool(common::ThreadPool* pool) override { pool_ = pool; }
+
+  Parameter& weight() { return w_; }
+  Parameter& bias() { return b_; }
+
+ private:
+  std::string name_;
+  Parameter w_;
+  Parameter b_;
+  Tensor last_input_;
+  Tensor out_;  // doubles as the ReLU mask: y == 0 exactly when pre <= 0
+  Tensor masked_grad_;
+  Tensor dx_;
+  common::ThreadPool* pool_ = nullptr;
+};
+
 /// y = max(x, 0).
 class ReLU : public Layer {
  public:

@@ -46,20 +46,20 @@ BimodalCodec::BimodalCodec(const BimodalConfig& config, Rng& rng)
                  "bimodal: scene_feature_dim must be >= 1");
   SEMCACHE_CHECK(config.text.feature_dim % config.text.sentence_length == 0,
                  "bimodal: text feature_dim must be a multiple of L");
+  // Hidden layers use the fused LinearReLU (bit- and checkpoint-compatible
+  // with the Linear + ReLU pairs they replace).
   text_mlp_
-      .add(std::make_unique<nn::Linear>(config.text.embed_dim,
-                                        config.text.hidden_dim, rng,
-                                        "bim.t1"))
-      .add(std::make_unique<nn::ReLU>())
+      .add(std::make_unique<nn::LinearReLU>(config.text.embed_dim,
+                                            config.text.hidden_dim, rng,
+                                            "bim.t1"))
       .add(std::make_unique<nn::Linear>(config.text.hidden_dim,
                                         config.text.per_position_dims(), rng,
                                         "bim.t2"))
       .add(std::make_unique<nn::Tanh>());
   scene_mlp_
-      .add(std::make_unique<nn::Linear>(config.scene_embed_dim,
-                                        config.text.hidden_dim, rng,
-                                        "bim.s1"))
-      .add(std::make_unique<nn::ReLU>())
+      .add(std::make_unique<nn::LinearReLU>(config.scene_embed_dim,
+                                            config.text.hidden_dim, rng,
+                                            "bim.s1"))
       .add(std::make_unique<nn::Linear>(config.text.hidden_dim,
                                         config.scene_feature_dim, rng,
                                         "bim.s2"))
@@ -67,9 +67,8 @@ BimodalCodec::BimodalCodec(const BimodalConfig& config, Rng& rng)
   const std::size_t dec_in =
       config.text.per_position_dims() + config.scene_feature_dim;
   dec_mlp_
-      .add(std::make_unique<nn::Linear>(dec_in, config.text.hidden_dim, rng,
-                                        "bim.d1"))
-      .add(std::make_unique<nn::ReLU>())
+      .add(std::make_unique<nn::LinearReLU>(dec_in, config.text.hidden_dim,
+                                            rng, "bim.d1"))
       .add(std::make_unique<nn::Linear>(config.text.hidden_dim,
                                         config.text.meaning_vocab, rng,
                                         "bim.d2"));

@@ -24,10 +24,11 @@ KbEncoder::KbEncoder(const CodecConfig& config, Rng& rng)
     : config_(config), embed_(config.surface_vocab, config.embed_dim, rng,
                               "enc.embed") {
   validate(config);
-  // Shared per-position encoder: positions are batch rows.
-  mlp_.add(std::make_unique<nn::Linear>(config.embed_dim, config.hidden_dim,
-                                        rng, "enc.l1"))
-      .add(std::make_unique<nn::ReLU>())
+  // Shared per-position encoder: positions are batch rows. The fused
+  // LinearReLU is bit- and checkpoint-compatible with the Linear + ReLU
+  // pair it replaces (same parameter names, same RNG draws, same bits).
+  mlp_.add(std::make_unique<nn::LinearReLU>(config.embed_dim,
+                                            config.hidden_dim, rng, "enc.l1"))
       .add(std::make_unique<nn::Linear>(config.hidden_dim,
                                         config.per_position_dims(), rng,
                                         "enc.l2"))
@@ -82,10 +83,10 @@ nn::ParameterSet KbEncoder::parameters() {
 
 KbDecoder::KbDecoder(const CodecConfig& config, Rng& rng) : config_(config) {
   validate(config);
-  // Shared per-position decoder: positions are batch rows.
-  mlp_.add(std::make_unique<nn::Linear>(config.per_position_dims(),
-                                        config.hidden_dim, rng, "dec.l1"))
-      .add(std::make_unique<nn::ReLU>())
+  // Shared per-position decoder: positions are batch rows (fused
+  // LinearReLU: same bits/params as the former Linear + ReLU pair).
+  mlp_.add(std::make_unique<nn::LinearReLU>(config.per_position_dims(),
+                                            config.hidden_dim, rng, "dec.l1"))
       .add(std::make_unique<nn::Linear>(config.hidden_dim,
                                         config.meaning_vocab, rng, "dec.l2"));
 }

@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
+#include <string>
 
 #include "common/check.hpp"
+#include "common/cpu.hpp"
+#include "common/log.hpp"
 #include "common/thread_pool.hpp"
+#include "tensor/simd_kernels.hpp"
 
 namespace semcache::tensor {
 
@@ -137,6 +142,170 @@ void bias_epilogue(std::size_t m, std::size_t n, const float* __restrict bias,
   }
 }
 
+// Fused bias+ReLU epilogue. `v < 0 ? 0 : v` (not max) so NaN and -0.0f pass
+// through unchanged, matching both the standalone ReLU layer and the AVX2
+// epilogue's maxps semantics bit-for-bit.
+void bias_relu_epilogue(std::size_t m, std::size_t n,
+                        const float* __restrict bias, float* __restrict c) {
+  for (std::size_t i = 0; i < m; ++i) {
+    float* __restrict crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float v = crow[j] + bias[j];
+      crow[j] = v < 0.0f ? 0.0f : v;
+    }
+  }
+}
+
+// ---- SIMD dispatch -------------------------------------------------------
+//
+// The AVX2 kernel table (ops_avx2.cpp) carries each gemm in two flavors:
+// explicit-FMA and strict multiply-then-add. Which one is bit-identical to
+// the scalar kernels above depends on how THIS translation unit was
+// compiled — Release (-O3, gcc's default -ffp-contract=fast) contracts the
+// scalar c += a*b into hardware FMA, the -O1 sanitizer configs do not — so
+// the choice is settled empirically, once, by running both flavors against
+// the as-built scalar kernel on a probe containing a value pattern where
+// fused and unfused accumulation MUST differ in the last bit. Whichever
+// flavor matches bit-for-bit is installed; if neither does (a compiler
+// splitting contraction mid-chain, say), the AVX2 path stays disabled and
+// the scalar kernels remain in sole charge.
+
+// Deterministic full-mantissa values in [-1, 1) for the probe fill.
+float probe_value(std::uint64_t& state) {
+  state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+  const std::uint32_t mant = static_cast<std::uint32_t>(state >> 40) & 0xFFFFFF;
+  return (static_cast<float>(mant) - 8388608.0f) / 8388608.0f;
+}
+
+bool probe_matches(bool trans, detail::GemmFn candidate) {
+  // 8 x 4 x 27 covers the candidate's 6-row block plus a 2-row tail, one
+  // 16-wide and one 8-wide column block plus a 3-column scalar tail. The
+  // shape is laundered through volatile so the compiler cannot specialize
+  // the inlined scalar kernel for it — the probe must run the exact code
+  // every real call site runs.
+  static volatile std::size_t vm = 8, vk = 4, vn = 27;
+  const std::size_t m = vm, k = vk, n = vn;
+  std::vector<float> a(m * k), b(k * n), ref(m * n), out(m * n);
+  std::uint64_t s = 0x5eed5eedULL;
+  for (float& v : a) v = probe_value(s);
+  for (float& v : b) v = probe_value(s);
+  for (std::size_t i = 0; i < ref.size(); ++i) out[i] = ref[i] = probe_value(s);
+  // Adversarial column 0: starting from exactly -1.0f, accumulating
+  // (1 + 2^-23) * (1 - 2^-23) lands on -2^-46 when the multiply-add is
+  // fused (the product is exact inside the fma) but on +0.0f when the
+  // product is rounded first (it rounds to 1.0f). The remaining k steps
+  // multiply by zero and preserve the split, so exactly one flavor can
+  // match the as-built scalar kernel here.
+  for (std::size_t r = 0; r < m; ++r) {
+    a[trans ? 0 * m + r : r * k + 0] = 1.0f;
+    a[trans ? 1 * m + r : r * k + 1] = 1.0f + 0x1p-23f;
+    out[r * n + 0] = ref[r * n + 0] = 0.0f;
+  }
+  b[0 * n + 0] = -1.0f;
+  b[1 * n + 0] = 1.0f - 0x1p-23f;
+  b[2 * n + 0] = 0.0f;
+  b[3 * n + 0] = 0.0f;
+  if (trans) {
+    gemm_tn(m, k, n, a.data(), b.data(), ref.data());
+  } else {
+    gemm_nn(m, k, n, a.data(), b.data(), ref.data());
+  }
+  candidate(m, k, n, a.data(), b.data(), out.data());
+  return std::memcmp(ref.data(), out.data(), ref.size() * sizeof(float)) == 0;
+}
+
+struct SimdDispatch {
+  detail::GemmFn nn = nullptr;
+  detail::GemmFn tn = nullptr;
+  detail::EpilogueFn bias = nullptr;
+  detail::EpilogueFn bias_relu = nullptr;
+  const char* path = "scalar";
+};
+
+const SimdDispatch& simd_dispatch() {
+  static const SimdDispatch dispatch = [] {
+    SimdDispatch d;
+    const detail::Avx2TensorKernels* kt = detail::avx2_tensor_kernels();
+    const common::CpuFeatures& f = common::cpu_features();
+    if (kt == nullptr || !f.avx2 || !f.fma) {
+      common::log_once("simd.tensor",
+                       kt == nullptr
+                           ? "tensor kernels: scalar (no AVX2 code in build)"
+                           : "tensor kernels: scalar (CPU lacks AVX2+FMA)",
+                       common::LogLevel::kInfo);
+      return d;
+    }
+    const bool nn_fma = probe_matches(false, kt->gemm_nn_fma);
+    const bool nn_mul = !nn_fma && probe_matches(false, kt->gemm_nn_muladd);
+    const bool tn_fma = probe_matches(true, kt->gemm_tn_fma);
+    const bool tn_mul = !tn_fma && probe_matches(true, kt->gemm_tn_muladd);
+    if ((nn_fma || nn_mul) && (tn_fma || tn_mul) && nn_fma == tn_fma) {
+      d.nn = nn_fma ? kt->gemm_nn_fma : kt->gemm_nn_muladd;
+      d.tn = tn_fma ? kt->gemm_tn_fma : kt->gemm_tn_muladd;
+      d.bias = kt->bias;
+      d.bias_relu = kt->bias_relu;
+      d.path = nn_fma ? "avx2-fma" : "avx2-muladd";
+      common::log_once("simd.tensor",
+                       std::string("tensor kernels: ") + d.path +
+                           " (probe matched the as-built scalar kernels)",
+                       common::LogLevel::kInfo);
+    } else {
+      common::log_once(
+          "simd.tensor",
+          "tensor kernels: scalar (equivalence probe matched neither AVX2 "
+          "flavor; keeping the reference kernels)",
+          common::LogLevel::kWarn);
+    }
+    return d;
+  }();
+  return dispatch;
+}
+
+inline bool simd_engaged(const SimdDispatch& d) {
+  return d.nn != nullptr &&
+         common::active_simd_tier() == common::SimdTier::kAvx2;
+}
+
+void gemm_nn_d(std::size_t m, std::size_t k, std::size_t n, const float* a,
+               const float* b, float* c) {
+  const SimdDispatch& d = simd_dispatch();
+  if (simd_engaged(d)) {
+    d.nn(m, k, n, a, b, c);
+  } else {
+    gemm_nn(m, k, n, a, b, c);
+  }
+}
+
+void gemm_tn_d(std::size_t m, std::size_t k, std::size_t n, const float* a,
+               const float* b, float* c) {
+  const SimdDispatch& d = simd_dispatch();
+  if (simd_engaged(d)) {
+    d.tn(m, k, n, a, b, c);
+  } else {
+    gemm_tn(m, k, n, a, b, c);
+  }
+}
+
+void bias_epilogue_d(std::size_t m, std::size_t n, const float* bias,
+                     float* c) {
+  const SimdDispatch& d = simd_dispatch();
+  if (simd_engaged(d)) {
+    d.bias(m, n, bias, c);
+  } else {
+    bias_epilogue(m, n, bias, c);
+  }
+}
+
+void bias_relu_epilogue_d(std::size_t m, std::size_t n, const float* bias,
+                          float* c) {
+  const SimdDispatch& d = simd_dispatch();
+  if (simd_engaged(d)) {
+    d.bias_relu(m, n, bias, c);
+  } else {
+    bias_relu_epilogue(m, n, bias, c);
+  }
+}
+
 // Row-partitioned dispatch for the pooled kernels: run(begin, end) covers
 // a contiguous, kRowTile-aligned block of output rows per worker. Bit-
 // exactness never depends on the partition — each output row's summation
@@ -228,7 +397,7 @@ Tensor& axpy_inplace(Tensor& a, const Tensor& b, float s) {
 Tensor matmul(const Tensor& a, const Tensor& b) {
   require_matmul_shapes(a, b, "matmul");
   Tensor c({a.dim(0), b.dim(1)});  // zero-filled
-  gemm_nn(a.dim(0), a.dim(1), b.dim(1), a.data(), b.data(), c.data());
+  gemm_nn_d(a.dim(0), a.dim(1), b.dim(1), a.data(), b.data(), c.data());
   return c;
 }
 
@@ -268,8 +437,8 @@ void matmul_into(Tensor& c, const Tensor& a, const Tensor& b,
                 [&](std::size_t begin, std::size_t end) {
                   std::memset(c.data() + begin * n, 0,
                               (end - begin) * n * sizeof(float));
-                  gemm_nn(end - begin, k, n, a.data() + begin * k, b.data(),
-                          c.data() + begin * n);
+                  gemm_nn_d(end - begin, k, n, a.data() + begin * k, b.data(),
+                            c.data() + begin * n);
                 });
 }
 
@@ -278,7 +447,7 @@ void matmul_acc(Tensor& c, const Tensor& a, const Tensor& b) {
   require_no_alias(c, a, b, "matmul_acc");
   SEMCACHE_CHECK(c.rank() == 2 && c.dim(0) == a.dim(0) && c.dim(1) == b.dim(1),
                  "matmul_acc: accumulator shape mismatch");
-  gemm_nn(a.dim(0), a.dim(1), b.dim(1), a.data(), b.data(), c.data());
+  gemm_nn_d(a.dim(0), a.dim(1), b.dim(1), a.data(), b.data(), c.data());
 }
 
 void matmul_tn_into(Tensor& c, const Tensor& a, const Tensor& b) {
@@ -287,7 +456,7 @@ void matmul_tn_into(Tensor& c, const Tensor& a, const Tensor& b) {
   require_no_alias(c, a, b, "matmul_tn_into");
   c.resize({a.dim(1), b.dim(1)});
   std::memset(c.data(), 0, c.size() * sizeof(float));
-  gemm_tn(a.dim(1), a.dim(0), b.dim(1), a.data(), b.data(), c.data());
+  gemm_tn_d(a.dim(1), a.dim(0), b.dim(1), a.data(), b.data(), c.data());
 }
 
 void matmul_tn_acc(Tensor& c, const Tensor& a, const Tensor& b) {
@@ -296,7 +465,7 @@ void matmul_tn_acc(Tensor& c, const Tensor& a, const Tensor& b) {
   require_no_alias(c, a, b, "matmul_tn_acc");
   SEMCACHE_CHECK(c.rank() == 2 && c.dim(0) == a.dim(1) && c.dim(1) == b.dim(1),
                  "matmul_tn_acc: accumulator shape mismatch");
-  gemm_tn(a.dim(1), a.dim(0), b.dim(1), a.data(), b.data(), c.data());
+  gemm_tn_d(a.dim(1), a.dim(0), b.dim(1), a.data(), b.data(), c.data());
 }
 
 void matmul_nt_into(Tensor& c, const Tensor& a, const Tensor& b) {
@@ -305,8 +474,8 @@ void matmul_nt_into(Tensor& c, const Tensor& a, const Tensor& b) {
   require_no_alias(c, a, b, "matmul_nt_into");
   c.resize({a.dim(0), b.dim(0)});
   std::memset(c.data(), 0, c.size() * sizeof(float));
-  gemm_nn(a.dim(0), a.dim(1), b.dim(0), a.data(), transpose_scratch(b),
-          c.data());
+  gemm_nn_d(a.dim(0), a.dim(1), b.dim(0), a.data(), transpose_scratch(b),
+            c.data());
 }
 
 void matmul_nt_acc(Tensor& c, const Tensor& a, const Tensor& b) {
@@ -315,8 +484,8 @@ void matmul_nt_acc(Tensor& c, const Tensor& a, const Tensor& b) {
   require_no_alias(c, a, b, "matmul_nt_acc");
   SEMCACHE_CHECK(c.rank() == 2 && c.dim(0) == a.dim(0) && c.dim(1) == b.dim(0),
                  "matmul_nt_acc: accumulator shape mismatch");
-  gemm_nn(a.dim(0), a.dim(1), b.dim(0), a.data(), transpose_scratch(b),
-          c.data());
+  gemm_nn_d(a.dim(0), a.dim(1), b.dim(0), a.data(), transpose_scratch(b),
+            c.data());
 }
 
 void affine_into(Tensor& y, const Tensor& x, const Tensor& w,
@@ -336,14 +505,46 @@ void affine_into(Tensor& y, const Tensor& x, const Tensor& w,
                 [&](std::size_t begin, std::size_t end) {
                   std::memset(y.data() + begin * n, 0,
                               (end - begin) * n * sizeof(float));
-                  gemm_nn(end - begin, k, n, x.data() + begin * k, w.data(),
-                          y.data() + begin * n);
+                  gemm_nn_d(end - begin, k, n, x.data() + begin * k, w.data(),
+                            y.data() + begin * n);
                   // Bias rides in the epilogue while y is still cache-hot
                   // (and without the per-element bounds checks the old
                   // at(i,j) second pass paid).
-                  bias_epilogue(end - begin, n, bias.data(),
-                                y.data() + begin * n);
+                  bias_epilogue_d(end - begin, n, bias.data(),
+                                  y.data() + begin * n);
                 });
+}
+
+void affine_relu_into(Tensor& y, const Tensor& x, const Tensor& w,
+                      const Tensor& bias, common::ThreadPool* pool) {
+  SEMCACHE_CHECK(bias.rank() == 1, "affine_relu_into: bias must be rank-1");
+  SEMCACHE_CHECK(w.rank() == 2 && bias.dim(0) == w.dim(1),
+                 "affine_relu_into: bias length must equal W cols");
+  require_matmul_shapes(x, w, "affine_relu_into");
+  require_no_alias(y, x, w, "affine_relu_into");
+  SEMCACHE_CHECK(y.data() != bias.data(),
+                 "affine_relu_into: output must not alias bias");
+  const std::size_t m = x.dim(0);
+  const std::size_t k = x.dim(1);
+  const std::size_t n = w.dim(1);
+  y.resize({m, n});
+  parallel_rows(m, k * n, kParallelKernelGrain, pool,
+                [&](std::size_t begin, std::size_t end) {
+                  std::memset(y.data() + begin * n, 0,
+                              (end - begin) * n * sizeof(float));
+                  gemm_nn_d(end - begin, k, n, x.data() + begin * k, w.data(),
+                            y.data() + begin * n);
+                  // ReLU is an elementwise clamp after the full sum, so
+                  // fusing it into the bias epilogue changes no bits vs.
+                  // affine_into followed by a standalone ReLU pass.
+                  bias_relu_epilogue_d(end - begin, n, bias.data(),
+                                       y.data() + begin * n);
+                });
+}
+
+const char* active_matmul_path() {
+  const SimdDispatch& d = simd_dispatch();
+  return simd_engaged(d) ? d.path : "scalar";
 }
 
 Tensor transpose(const Tensor& a) {

@@ -72,6 +72,11 @@ void matmul_nt_acc(Tensor& c, const Tensor& a, const Tensor& b);
 /// non-null pool row-partitions like matmul_into.
 void affine_into(Tensor& y, const Tensor& x, const Tensor& w,
                  const Tensor& bias, common::ThreadPool* pool = nullptr);
+/// y = relu(x * W + broadcast(bias)) with the clamp fused into the bias
+/// epilogue — bit-identical to affine_into followed by an elementwise
+/// `v < 0 ? 0 : v` pass, one less sweep over y.
+void affine_relu_into(Tensor& y, const Tensor& x, const Tensor& w,
+                      const Tensor& bias, common::ThreadPool* pool = nullptr);
 /// t = aᵀ.
 void transpose_into(Tensor& t, const Tensor& a);
 
@@ -98,5 +103,12 @@ float l2_norm(const Tensor& a);
 Tensor column_sums(const Tensor& a);
 /// out += column sums of a (out must be rank-1 of length a.dim(1)).
 void column_sums_acc(Tensor& out, const Tensor& a);
+
+/// The kernel path the NEXT matmul-family call will take: "avx2-fma" or
+/// "avx2-muladd" when the AVX2 kernels are built, the CPU supports them,
+/// the equivalence probe matched that flavor, and the active SIMD tier
+/// (common::active_simd_tier) admits them; "scalar" otherwise. Tests and
+/// benches use this to assert/record what actually engaged.
+const char* active_matmul_path();
 
 }  // namespace semcache::tensor
