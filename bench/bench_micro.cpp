@@ -409,6 +409,30 @@ static void BM_ViterbiDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_ViterbiDecode)->Arg(64)->Arg(512);
 
+// Weighted (soft-decision) trellis over quantized LLR confidences — the
+// receive path of a soft pipeline. Branch metrics are rebuilt per step
+// from the weight stream, so this bounds the LLR overhead vs the hard
+// table-driven ACS above.
+static void BM_ViterbiDecodeSoft(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  channel::ConvolutionalCode code;
+  BitVec info(bits);
+  for (auto& b : info) b = rng.bernoulli(0.5) ? 1 : 0;
+  const BitVec coded = code.encode(info);
+  std::vector<float> llrs(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    llrs[i] = static_cast<float>((coded[i] != 0 ? 1.0 : -1.0) +
+                                 rng.gaussian(0.0, 0.7));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.decode_soft(llrs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bits));
+}
+BENCHMARK(BM_ViterbiDecodeSoft)->Arg(64)->Arg(512);
+
 static void BM_HuffmanEncode(benchmark::State& state) {
   Rng rng(6);
   std::vector<std::uint8_t> data(1024);

@@ -58,6 +58,8 @@ def load_real_times(capture_path):
         scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
         if scale is None:
             continue
+        if "name" not in bench or "real_time" not in bench:
+            continue  # error_occurred entries carry no timing
         times[bench["name"]] = float(bench["real_time"]) * scale
     return times
 
@@ -72,9 +74,21 @@ def print_drift_table(baseline, current):
     regression_gate.ci_micro_ns and are handled by the gate proper.
     """
     info = baseline.get("micro_ns", {})
-    rows = [(name, float(base), current[name])
-            for name, base in sorted(info.items()) if name in current]
-    if not rows:
+    rows = []
+    skipped = []  # baseline rows that are not comparable (non-numeric)
+    for name, base in sorted(info.items()):
+        if name not in current:
+            continue
+        try:
+            rows.append((name, float(base), current[name]))
+        except (TypeError, ValueError):
+            skipped.append(name)
+    # A capture from a newer tree legitimately carries benches the
+    # checked-in baseline has never seen (freshly added micro benches).
+    # Those are not drift — note them instead of crashing or silently
+    # hiding them, so a stale baseline is visible in the log.
+    unknown = sorted(set(current) - set(info))
+    if not rows and not unknown and not skipped:
         return
     print("check_regression: informational micro_ns drift (non-gating; "
           "provenance in BASELINE.json _comment):")
@@ -82,6 +96,12 @@ def print_drift_table(baseline, current):
         delta = cur_ns / base_ns - 1.0
         print(f"  info {name}: {cur_ns / 1e3:.1f}us vs baseline "
               f"{base_ns / 1e3:.1f}us ({delta:+.1%})")
+    for name in skipped:
+        print(f"  info {name}: baseline value is not numeric — skipped")
+    if unknown:
+        print(f"  info {len(unknown)} capture row(s) without a baseline "
+              f"(new benches — refresh micro_ns to track them): "
+              + ", ".join(unknown))
 
 
 def main():

@@ -1,0 +1,95 @@
+#include "channel/adaptive.hpp"
+
+#include "common/check.hpp"
+
+namespace semcache::channel {
+
+const char* code_rate_name(CodeRate rate) {
+  switch (rate) {
+    case CodeRate::kR12:
+      return "conv_k3_r12";
+    case CodeRate::kR23:
+      return "conv_k3_r23";
+    case CodeRate::kR34:
+      return "conv_k3_r34";
+  }
+  return "conv_k3_r12";
+}
+
+AdaptiveRateController::AdaptiveRateController(const AdaptiveRateConfig& cfg)
+    : cfg_(cfg), rate_(cfg.initial) {
+  SEMCACHE_CHECK(cfg_.ewma_alpha > 0.0 && cfg_.ewma_alpha <= 1.0,
+                 "adaptive: ewma_alpha must be in (0, 1]");
+  SEMCACHE_CHECK(cfg_.hysteresis_db >= 0.0,
+                 "adaptive: hysteresis must be non-negative");
+  SEMCACHE_CHECK(cfg_.up_r23_db <= cfg_.up_r34_db,
+                 "adaptive: thresholds must be ordered r23 <= r34");
+}
+
+CodeRate AdaptiveRateController::observe(double snr_est_db) {
+  ewma_ = seeded_
+              ? cfg_.ewma_alpha * snr_est_db + (1.0 - cfg_.ewma_alpha) * ewma_
+              : snr_est_db;
+  seeded_ = true;
+  switch (rate_) {
+    case CodeRate::kR12:
+      if (ewma_ > cfg_.up_r23_db + cfg_.hysteresis_db) rate_ = CodeRate::kR23;
+      break;
+    case CodeRate::kR23:
+      if (ewma_ > cfg_.up_r34_db + cfg_.hysteresis_db) {
+        rate_ = CodeRate::kR34;
+      } else if (ewma_ < cfg_.up_r23_db - cfg_.hysteresis_db) {
+        rate_ = CodeRate::kR12;
+      }
+      break;
+    case CodeRate::kR34:
+      if (ewma_ < cfg_.up_r34_db - cfg_.hysteresis_db) rate_ = CodeRate::kR23;
+      break;
+  }
+  return rate_;
+}
+
+AdaptiveRatePipeline::AdaptiveRatePipeline(Modulation mod,
+                                           const GilbertElliottConfig& burst,
+                                           const AdaptiveRateConfig& cfg,
+                                           std::size_t interleave_depth,
+                                           bool soft)
+    : controller_(cfg) {
+  // SEMCACHE_SOFT=off degrades the whole link to hard decisions (the CI
+  // floor leg); the controller then never observes and holds its rate.
+  const bool effective_soft = resolve_soft_decision(soft);
+  for (std::size_t r = 0; r < kCodeRateCount; ++r) {
+    pipelines_[r] = make_burst_pipeline(
+        make_code(code_rate_name(static_cast<CodeRate>(r))), mod, burst,
+        interleave_depth);
+    pipelines_[r]->set_soft_decision(effective_soft);
+  }
+}
+
+BitVec AdaptiveRatePipeline::transmit_at(const BitVec& payload, Rng& rng,
+                                         std::uint64_t slot) {
+  const CodeRate rate = controller_.current();
+  ChannelPipeline& pipe = *pipelines_[static_cast<std::size_t>(rate)];
+  const std::size_t airtime_before = pipe.stats().airtime_bits;
+  ChannelObservation obs;
+  BitVec decoded = pipe.transmit_at(payload, rng, slot, &obs);
+  stats_.messages += 1;
+  stats_.rate_messages[static_cast<std::size_t>(rate)] += 1;
+  stats_.payload_bits += payload.size();
+  stats_.airtime_bits += pipe.stats().airtime_bits - airtime_before;
+  // Hard-decision fallback (SEMCACHE_SOFT=off or a slicer-only channel)
+  // yields no observation; the controller then simply holds its rate.
+  if (pipe.soft_decision()) {
+    const CodeRate next = controller_.observe(obs.snr_est_db);
+    if (next != rate) stats_.switches += 1;
+  }
+  stats_.ewma_snr_db = controller_.ewma_snr_db();
+  return decoded;
+}
+
+std::string AdaptiveRatePipeline::description() const {
+  return "adaptive(" + pipelines_[0]->description() + " .. " +
+         pipelines_[kCodeRateCount - 1]->description() + ")";
+}
+
+}  // namespace semcache::channel

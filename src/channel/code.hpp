@@ -21,6 +21,17 @@ class ChannelCode {
   virtual BitVec encode(const BitVec& info) const = 0;
   /// Hard-decision decode; output length is the padded info length.
   virtual BitVec decode(const BitVec& coded) const = 0;
+  /// Soft-decision decode from per-bit LLRs (sign convention: llr >= 0
+  /// means bit 1, so hard-slicing an LLR vector reproduces the hard demap).
+  /// Default: slice and run the hard decoder — codes with a true soft
+  /// metric (the convolutional family) override.
+  virtual BitVec decode_soft(const std::vector<float>& llrs) const {
+    BitVec hard(llrs.size());
+    for (std::size_t i = 0; i < llrs.size(); ++i) {
+      hard[i] = llrs[i] >= 0.0f ? 1 : 0;
+    }
+    return decode(hard);
+  }
   /// Coded bits produced for `info_bits` information bits.
   virtual std::size_t encoded_length(std::size_t info_bits) const = 0;
   /// Information rate (info bits / coded bits), asymptotic.

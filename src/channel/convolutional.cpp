@@ -1,6 +1,7 @@
 #include "channel/convolutional.hpp"
 
 #include <array>
+#include <cmath>
 #include <vector>
 
 #include "channel/simd.hpp"
@@ -50,6 +51,10 @@ detail::ViterbiTables build_viterbi_tables() {
                    "conv: predecessor table inconsistent");
     tb.surv_a[ns] = static_cast<std::uint8_t>((in << 4) | pa);
     tb.surv_b[ns] = static_cast<std::uint8_t>((in << 4) | pb);
+    tb.exp0_a[ns] = ta.out0;
+    tb.exp1_a[ns] = ta.out1;
+    tb.exp0_b[ns] = tb_.out0;
+    tb.exp1_b[ns] = tb_.out1;
     for (std::uint8_t rx = 0; rx < 4; ++rx) {
       const std::uint8_t r0 = rx & 1;
       const std::uint8_t r1 = (rx >> 1) & 1;
@@ -97,6 +102,46 @@ void viterbi_acs_scalar(const detail::ViterbiTables& tb,
     for (std::size_t ns = 0; ns < 4; ++ns) metric[ns] = next[ns];
   }
 }
+
+// Weighted ACS (soft / erasure path): branch metrics are rebuilt per step
+// from the expected-output tables and the two per-step weights instead of
+// the precomputed unit-weight bm tables. Same tie-break as the hard path
+// (A keeps ties, B wins strictly), same saturation ceiling.
+void viterbi_acs_soft_scalar(const detail::ViterbiTables& tb,
+                             const std::uint8_t* rx,
+                             const std::uint8_t* weights,
+                             std::size_t info_steps, std::uint32_t* metric,
+                             std::uint8_t* survivor) {
+  for (std::size_t t = 0; t < info_steps; ++t) {
+    const std::uint32_t r0 = rx[t] & 1u;
+    const std::uint32_t r1 = (rx[t] >> 1) & 1u;
+    const std::uint32_t w0 = weights[2 * t];
+    const std::uint32_t w1 = weights[2 * t + 1];
+    std::uint32_t next[4];
+    std::uint8_t* sv = survivor + 4 * t;
+    for (std::size_t ns = 0; ns < 4; ++ns) {
+      const std::uint32_t bma = (tb.exp0_a[ns] != r0 ? w0 : 0u) +
+                                (tb.exp1_a[ns] != r1 ? w1 : 0u);
+      const std::uint32_t bmb = (tb.exp0_b[ns] != r0 ? w0 : 0u) +
+                                (tb.exp1_b[ns] != r1 ? w1 : 0u);
+      const std::uint32_t ca = sat_add(metric[detail::kViterbiPredA[ns]], bma);
+      const std::uint32_t cb = sat_add(metric[detail::kViterbiPredB[ns]], bmb);
+      if (cb < ca) {
+        next[ns] = cb;
+        sv[ns] = tb.surv_b[ns];
+      } else {
+        next[ns] = ca;
+        sv[ns] = tb.surv_a[ns];
+      }
+    }
+    for (std::size_t ns = 0; ns < 4; ++ns) metric[ns] = next[ns];
+  }
+}
+
+const detail::ViterbiTables& viterbi_tables() {
+  static const detail::ViterbiTables kTables = build_viterbi_tables();
+  return kTables;
+}
 }  // namespace
 
 BitVec ConvolutionalCode::encode(const BitVec& info) const {
@@ -122,7 +167,7 @@ BitVec ConvolutionalCode::decode(const BitVec& coded) const {
                  "conv: coded stream shorter than the termination tail");
   const std::size_t info_len = steps - (kConstraint - 1);
 
-  static const detail::ViterbiTables kTables = build_viterbi_tables();
+  const detail::ViterbiTables& kTables = viterbi_tables();
 
   // Received dibits, packed once so the ACS inner loop does one table
   // index per step instead of re-deriving branch metrics per transition.
@@ -183,6 +228,96 @@ BitVec ConvolutionalCode::decode(const BitVec& coded) const {
     state = packed & 0x0F;
   }
   decoded.resize(info_len);  // drop the tail bits
+  return decoded;
+}
+
+std::uint8_t ConvolutionalCode::llr_weight(float llr) {
+  const float v = std::fabs(llr) * 32.0f;
+  if (!(v >= 0.0f)) return 0;  // NaN: no information, treat as erasure
+  return v >= 255.0f ? 255 : static_cast<std::uint8_t>(v);
+}
+
+BitVec ConvolutionalCode::decode_soft(const std::vector<float>& llrs) const {
+  BitVec hard(llrs.size());
+  std::vector<std::uint8_t> weights(llrs.size());
+  for (std::size_t i = 0; i < llrs.size(); ++i) {
+    hard[i] = llrs[i] >= 0.0f ? 1 : 0;
+    weights[i] = llr_weight(llrs[i]);
+  }
+  return decode_weighted(hard, weights);
+}
+
+BitVec ConvolutionalCode::decode_weighted(
+    const BitVec& hard, const std::vector<std::uint8_t>& weights) {
+  SEMCACHE_CHECK(hard.size() % 2 == 0, "conv: coded length must be even");
+  SEMCACHE_CHECK(weights.size() == hard.size(),
+                 "conv: need one weight per coded bit");
+  const std::size_t steps = hard.size() / 2;
+  SEMCACHE_CHECK(steps >= kConstraint - 1,
+                 "conv: coded stream shorter than the termination tail");
+  const std::size_t info_len = steps - (kConstraint - 1);
+
+  const detail::ViterbiTables& kTables = viterbi_tables();
+
+  std::vector<std::uint8_t> rx(steps);
+  for (std::size_t t = 0; t < steps; ++t) {
+    rx[t] = static_cast<std::uint8_t>((hard[2 * t] & 1) |
+                                      ((hard[2 * t + 1] & 1) << 1));
+  }
+
+  std::array<std::uint32_t, kStates> metric;
+  metric.fill(detail::kViterbiInf);
+  metric[0] = 0;
+
+  std::vector<std::uint8_t> survivor(4 * steps, 0);
+
+  const detail::Avx2ChannelKernels* k = detail::engaged_channel_kernels();
+  if (k != nullptr) {
+    k->viterbi_acs_soft(kTables, rx.data(), weights.data(), info_len,
+                        metric.data(), survivor.data());
+  } else {
+    viterbi_acs_soft_scalar(kTables, rx.data(), weights.data(), info_len,
+                            metric.data(), survivor.data());
+  }
+
+  // Weighted tail steps: input 0 only, next-states 0 and 1, like the hard
+  // decoder's tail.
+  for (std::size_t t = info_len; t < steps; ++t) {
+    const std::uint32_t r0 = rx[t] & 1u;
+    const std::uint32_t r1 = (rx[t] >> 1) & 1u;
+    const std::uint32_t w0 = weights[2 * t];
+    const std::uint32_t w1 = weights[2 * t + 1];
+    std::uint32_t next[2];
+    std::uint8_t* sv = survivor.data() + 4 * t;
+    for (std::size_t ns = 0; ns < 2; ++ns) {
+      const std::uint32_t bma = (kTables.exp0_a[ns] != r0 ? w0 : 0u) +
+                                (kTables.exp1_a[ns] != r1 ? w1 : 0u);
+      const std::uint32_t bmb = (kTables.exp0_b[ns] != r0 ? w0 : 0u) +
+                                (kTables.exp1_b[ns] != r1 ? w1 : 0u);
+      const std::uint32_t ca = sat_add(metric[detail::kViterbiPredA[ns]], bma);
+      const std::uint32_t cb = sat_add(metric[detail::kViterbiPredB[ns]], bmb);
+      if (cb < ca) {
+        next[ns] = cb;
+        sv[ns] = kTables.surv_b[ns];
+      } else {
+        next[ns] = ca;
+        sv[ns] = kTables.surv_a[ns];
+      }
+    }
+    metric[0] = next[0];
+    metric[1] = next[1];
+    metric[2] = detail::kViterbiInf;
+    metric[3] = detail::kViterbiInf;
+  }
+
+  BitVec decoded(steps, 0);
+  std::uint8_t state = 0;
+  for (std::size_t t = steps; t-- > 0;) {
+    const std::uint8_t packed = survivor[4 * t + state];
+    decoded[t] = static_cast<std::uint8_t>((packed >> 4) & 1);
+    state = packed & 0x0F;
+  }
+  decoded.resize(info_len);
   return decoded;
 }
 

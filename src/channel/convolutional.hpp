@@ -1,6 +1,10 @@
 // Rate-1/2 convolutional code, constraint length K=3, generators (7, 5)
-// octal, zero-tail terminated, with hard-decision Viterbi decoding.
+// octal, zero-tail terminated, with hard-decision Viterbi decoding plus a
+// weighted (soft-decision / erasure) Viterbi path shared with the punctured
+// variants (puncture.hpp).
 #pragma once
+
+#include <vector>
 
 #include "channel/code.hpp"
 
@@ -17,11 +21,29 @@ class ConvolutionalCode final : public ChannelCode {
   /// Viterbi decode with traceback from the zero state (the encoder is
   /// zero-terminated); returns exactly the original info bits.
   BitVec decode(const BitVec& coded) const override;
+  /// LLR-metric Viterbi: quantizes each LLR to (hard bit, confidence
+  /// weight) and runs the weighted ACS. With uniform weights this is the
+  /// hard decoder exactly; in noise, strong bits outvote weak ones.
+  BitVec decode_soft(const std::vector<float>& llrs) const override;
   std::size_t encoded_length(std::size_t info_bits) const override {
     return 2 * (info_bits + kConstraint - 1);
   }
   double rate() const override { return 0.5; }
   std::string name() const override { return "conv_k3_r12"; }
+
+  /// Weighted-Hamming Viterbi over pre-sliced hard decisions plus per-bit
+  /// mismatch weights (weights.size() == hard.size(), two per trellis
+  /// step). Weight 0 is an erasure — the branch metric ignores that bit —
+  /// which is how the punctured codes feed depunctured positions through
+  /// the same trellis. Returns the information bits (zero tail dropped).
+  static BitVec decode_weighted(const BitVec& hard,
+                                const std::vector<std::uint8_t>& weights);
+
+  /// LLR magnitude -> branch weight: clamp(|llr| * 32, 0, 255); a NaN LLR
+  /// quantizes to 0 (erasure). Scale is arbitrary (only relative weights
+  /// matter inside one frame); 32 keeps sub-dB confidence differences
+  /// distinguishable after integer truncation.
+  static std::uint8_t llr_weight(float llr);
 };
 
 }  // namespace semcache::channel

@@ -23,19 +23,31 @@ BitVec BlockInterleaver::interleave(const BitVec& bits) const {
   return out;
 }
 
-BitVec BlockInterleaver::deinterleave(const BitVec& bits) const {
-  if (depth_ == 1) return bits;
-  SEMCACHE_CHECK(bits.size() % depth_ == 0,
+namespace {
+template <typename Vec>
+Vec deinterleave_impl(const Vec& in, std::size_t depth) {
+  if (depth == 1) return in;
+  SEMCACHE_CHECK(in.size() % depth == 0,
                  "deinterleave: length must be a multiple of depth");
-  const std::size_t width = bits.size() / depth_;
-  BitVec out(bits.size());
+  const std::size_t width = in.size() / depth;
+  Vec out(in.size());
   std::size_t idx = 0;
   for (std::size_t col = 0; col < width; ++col) {
-    for (std::size_t row = 0; row < depth_; ++row) {
-      out[row * width + col] = bits[idx++];
+    for (std::size_t row = 0; row < depth; ++row) {
+      out[row * width + col] = in[idx++];
     }
   }
   return out;
+}
+}  // namespace
+
+BitVec BlockInterleaver::deinterleave(const BitVec& bits) const {
+  return deinterleave_impl(bits, depth_);
+}
+
+std::vector<float> BlockInterleaver::deinterleave(
+    const std::vector<float>& llrs) const {
+  return deinterleave_impl(llrs, depth_);
 }
 
 }  // namespace semcache::channel

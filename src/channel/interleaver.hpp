@@ -15,6 +15,9 @@ class BlockInterleaver {
   /// deinterleave() must be called with the same length.
   BitVec interleave(const BitVec& bits) const;
   BitVec deinterleave(const BitVec& bits) const;
+  /// Same permutation over per-bit LLRs (the soft-decision receive path
+  /// un-permutes confidences, not sliced bits).
+  std::vector<float> deinterleave(const std::vector<float>& llrs) const;
   std::size_t depth() const { return depth_; }
 
  private:

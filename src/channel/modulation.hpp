@@ -29,6 +29,16 @@ std::vector<Symbol> modulate(const BitVec& bits, Modulation m);
 void demap_into(BitVec& out, const Symbol* symbols, std::size_t count,
                 Modulation m);
 
+/// Soft demap: per-bit max-log LLRs, one float per output bit, overwriting
+/// `out` with count * bits_per_symbol(m) values. Sign convention: llr >= 0
+/// means bit 1, so slicing the LLRs reproduces demap_into away from the
+/// measure-zero decision boundaries. BPSK/QPSK LLRs are the raw received
+/// coordinates; 16-QAM uses the standard piecewise max-log per-PAM forms
+/// (LLR(b0) = v inside |v| <= 2, 2(v -+ 1) outside; LLR(b1) = 2 - |v|).
+/// Dispatches to the AVX2 kernels when engaged, bit-identical either way.
+void demap_soft_into(std::vector<float>& out, const Symbol* symbols,
+                     std::size_t count, Modulation m);
+
 /// Hard-decision demap; returns exactly `bit_count` bits.
 BitVec demodulate(const std::vector<Symbol>& symbols, Modulation m,
                   std::size_t bit_count);

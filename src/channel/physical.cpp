@@ -1,5 +1,6 @@
 #include "channel/physical.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <vector>
@@ -98,9 +99,44 @@ ModulatedChannel::ModulatedChannel(Modulation m,
 }
 
 BitVec ModulatedChannel::transmit(const BitVec& bits, Rng& rng) {
+  return transmit_slot(bits, rng, 0);
+}
+
+BitVec ModulatedChannel::transmit_slot(const BitVec& bits, Rng& rng,
+                                       std::uint64_t slot) {
   std::vector<Symbol> symbols = modulate(bits, mod_);
-  channel_->apply(symbols, rng);
+  channel_->apply_slot(symbols, rng, slot);
   return demodulate(symbols, mod_, bits.size());
+}
+
+bool ModulatedChannel::transmit_soft(const BitVec& bits, Rng& rng,
+                                     std::uint64_t slot,
+                                     std::vector<float>& llrs,
+                                     ChannelObservation* obs) {
+  std::vector<Symbol> symbols = modulate(bits, mod_);
+  channel_->apply_slot(symbols, rng, slot);
+  demap_soft_into(llrs, symbols.data(), symbols.size(), mod_);
+  llrs.resize(bits.size());  // drop LLRs of modulation pad bits
+  if (obs != nullptr) *obs = observe_symbols(symbols, mod_);
+  return true;
+}
+
+ChannelObservation observe_symbols(const std::vector<Symbol>& received,
+                                   Modulation m) {
+  ChannelObservation obs;
+  if (received.empty()) return obs;
+  // Slice each received symbol to the nearest constellation point and
+  // measure the residual power — decision-directed, no genie SNR.
+  const std::size_t bit_count = received.size() * bits_per_symbol(m);
+  const BitVec sliced = demodulate(received, m, bit_count);
+  const std::vector<Symbol> nearest = modulate(sliced, m);
+  double err = 0.0;
+  for (std::size_t i = 0; i < received.size(); ++i) {
+    err += std::norm(received[i] - nearest[i]);
+  }
+  obs.noise_power = err / static_cast<double>(received.size());
+  obs.snr_est_db = 10.0 * std::log10(1.0 / std::max(obs.noise_power, 1e-9));
+  return obs;
 }
 
 std::string ModulatedChannel::name() const {

@@ -21,8 +21,31 @@ class SymbolChannel {
 
   /// Distort symbols in place.
   virtual void apply(std::vector<Symbol>& symbols, Rng& rng) = 0;
+  /// Slot-aware apply: `slot` is the caller's global message index (the
+  /// same ordinal that keys the per-message RNG forks), which lets a
+  /// channel with memory — the Gilbert–Elliott burst model — evolve its
+  /// state across messages deterministically under any thread or shard
+  /// count. Memoryless channels ignore the slot.
+  virtual void apply_slot(std::vector<Symbol>& symbols, Rng& rng,
+                          std::uint64_t slot) {
+    (void)slot;
+    apply(symbols, rng);
+  }
   virtual std::string name() const = 0;
 };
+
+/// Receiver-side channel-quality measurement, filled by the soft transmit
+/// path: `noise_power` is the decision-directed error power (mean squared
+/// distance from each received symbol to the nearest constellation point),
+/// an honest estimate that needs no genie knowledge of the true SNR.
+struct ChannelObservation {
+  double noise_power = 0.0;
+  double snr_est_db = 0.0;  ///< 10 log10(Es / noise_power), Es = 1
+};
+
+/// Decision-directed observation over received symbols.
+ChannelObservation observe_symbols(const std::vector<Symbol>& received,
+                                   Modulation m);
 
 /// Complex additive white Gaussian noise at a given Es/N0.
 class AwgnChannel final : public SymbolChannel {
@@ -65,6 +88,28 @@ class BitChannel {
   /// or in the rng): ChannelPipeline::transmit_batch runs per-message
   /// passes on a worker pool. All in-tree channels qualify.
   virtual BitVec transmit(const BitVec& bits, Rng& rng) = 0;
+  /// Slot-aware transmit (see SymbolChannel::apply_slot). The default
+  /// drops the slot, so memoryless channels behave exactly as before.
+  virtual BitVec transmit_slot(const BitVec& bits, Rng& rng,
+                               std::uint64_t slot) {
+    (void)slot;
+    return transmit(bits, rng);
+  }
+  /// Soft-output transmit: on success fills `llrs` with one LLR per input
+  /// bit (sign convention: llr >= 0 decodes to 1, matching the hard
+  /// slicers) and, when `obs` is non-null, a decision-directed channel
+  /// observation. Returns false when the channel has no soft output (BSC),
+  /// in which case the caller falls back to the hard path.
+  virtual bool transmit_soft(const BitVec& bits, Rng& rng, std::uint64_t slot,
+                             std::vector<float>& llrs,
+                             ChannelObservation* obs) {
+    (void)bits;
+    (void)rng;
+    (void)slot;
+    (void)llrs;
+    (void)obs;
+    return false;
+  }
   virtual std::string name() const = 0;
 };
 
@@ -85,7 +130,13 @@ class ModulatedChannel final : public BitChannel {
  public:
   ModulatedChannel(Modulation m, std::unique_ptr<SymbolChannel> channel);
   BitVec transmit(const BitVec& bits, Rng& rng) override;
+  BitVec transmit_slot(const BitVec& bits, Rng& rng,
+                       std::uint64_t slot) override;
+  bool transmit_soft(const BitVec& bits, Rng& rng, std::uint64_t slot,
+                     std::vector<float>& llrs,
+                     ChannelObservation* obs) override;
   std::string name() const override;
+  Modulation modulation() const { return mod_; }
 
  private:
   Modulation mod_;

@@ -1,7 +1,10 @@
 #include "channel/pipeline.hpp"
 
+#include <cstdlib>
+
 #include "channel/convolutional.hpp"
 #include "channel/hamming.hpp"
+#include "channel/puncture.hpp"
 #include "channel/repetition.hpp"
 #include "common/check.hpp"
 
@@ -18,8 +21,14 @@ ChannelPipeline::ChannelPipeline(std::unique_ptr<ChannelCode> code,
 }
 
 BitVec ChannelPipeline::transmit(const BitVec& payload, Rng& rng) {
+  return transmit_at(payload, rng, 0, nullptr);
+}
+
+BitVec ChannelPipeline::transmit_at(const BitVec& payload, Rng& rng,
+                                    std::uint64_t slot,
+                                    ChannelObservation* obs) {
   std::size_t airtime_bits = 0;
-  BitVec decoded = transmit_one(payload, rng, airtime_bits);
+  BitVec decoded = transmit_one(payload, rng, airtime_bits, slot, obs);
   stats_.payload_bits += payload.size();
   stats_.airtime_bits += airtime_bits;
   stats_.messages += 1;
@@ -28,12 +37,28 @@ BitVec ChannelPipeline::transmit(const BitVec& payload, Rng& rng) {
 
 std::vector<BitVec> ChannelPipeline::transmit_batch(
     const std::vector<BitVec>& payloads, std::span<Rng> rngs) {
-  return transmit_batch_collect(payloads, rngs, stats_, pool_);
+  return transmit_batch_collect(payloads, rngs, {}, stats_, pool_);
+}
+
+std::vector<BitVec> ChannelPipeline::transmit_batch(
+    const std::vector<BitVec>& payloads, std::span<Rng> rngs,
+    std::span<const std::uint64_t> slots) {
+  return transmit_batch_collect(payloads, rngs, slots, stats_, pool_);
 }
 
 std::vector<BitVec> ChannelPipeline::transmit_batch_collect(
     const std::vector<BitVec>& payloads, std::span<Rng> rngs,
     PipelineStats& sink, common::ThreadPool* pool) const {
+  return transmit_batch_collect(payloads, rngs, {}, sink, pool);
+}
+
+std::vector<BitVec> ChannelPipeline::transmit_batch_collect(
+    const std::vector<BitVec>& payloads, std::span<Rng> rngs,
+    std::span<const std::uint64_t> slots, PipelineStats& sink,
+    common::ThreadPool* pool) const {
+  SEMCACHE_CHECK(slots.empty() || slots.size() == payloads.size(),
+                 "pipeline: transmit_batch slots span must be empty or match "
+                 "the payload count");
   SEMCACHE_CHECK(payloads.size() == rngs.size(),
                  "pipeline: transmit_batch needs one rng per payload (" +
                      std::to_string(payloads.size()) + " payloads, " +
@@ -50,7 +75,9 @@ std::vector<BitVec> ChannelPipeline::transmit_batch_collect(
   // index count, the rest do not).
   common::parallel_for_or_inline(pool, n, [&](std::size_t i, std::size_t) {
     try {
-      received[i] = transmit_one(payloads[i], rngs[i], airtime[i]);
+      const std::uint64_t slot = slots.empty() ? 0 : slots[i];
+      received[i] =
+          transmit_one(payloads[i], rngs[i], airtime[i], slot, nullptr);
     } catch (...) {
       errors[i] = std::current_exception();
     }
@@ -71,10 +98,28 @@ void ChannelPipeline::fold_stats(const PipelineStats& delta) {
 }
 
 BitVec ChannelPipeline::transmit_one(const BitVec& payload, Rng& rng,
-                                     std::size_t& airtime_bits) const {
+                                     std::size_t& airtime_bits,
+                                     std::uint64_t slot,
+                                     ChannelObservation* obs) const {
   const BitVec coded = code_->encode(payload);
   const BitVec sent = interleaver_.interleave(coded);
-  const BitVec received = channel_->transmit(sent, rng);
+  if (soft_) {
+    // LLRs ride the same deinterleave permutation the hard bits would, so
+    // the trellis sees confidences in coded order. Channels without a soft
+    // output decline and drop through to the hard path.
+    std::vector<float> llrs;
+    if (channel_->transmit_soft(sent, rng, slot, llrs, obs)) {
+      std::vector<float> deinterleaved = interleaver_.deinterleave(llrs);
+      deinterleaved.resize(coded.size());  // drop interleaver padding
+      BitVec decoded = code_->decode_soft(deinterleaved);
+      SEMCACHE_CHECK(decoded.size() >= payload.size(),
+                     "pipeline: decoder returned too few bits");
+      decoded.resize(payload.size());
+      airtime_bits = sent.size();
+      return decoded;
+    }
+  }
+  const BitVec received = channel_->transmit_slot(sent, rng, slot);
   BitVec deinterleaved = interleaver_.deinterleave(received);
   deinterleaved.resize(coded.size());  // drop interleaver padding
   BitVec decoded = code_->decode(deinterleaved);
@@ -95,6 +140,12 @@ std::unique_ptr<ChannelCode> make_code(const std::string& name) {
   if (name == "rep5") return std::make_unique<RepetitionCode>(5);
   if (name == "hamming74") return std::make_unique<HammingCode>();
   if (name == "conv_k3_r12") return std::make_unique<ConvolutionalCode>();
+  if (name == "conv_k3_r23") {
+    return std::make_unique<PuncturedConvolutionalCode>(PunctureRate::kR23);
+  }
+  if (name == "conv_k3_r34") {
+    return std::make_unique<PuncturedConvolutionalCode>(PunctureRate::kR34);
+  }
   SEMCACHE_CHECK(false, "unknown channel code: " + name);
   return nullptr;
 }
@@ -121,6 +172,32 @@ std::unique_ptr<ChannelPipeline> make_rayleigh_pipeline(
       mod, std::make_unique<RayleighChannel>(snr_db, fade_block_len));
   return std::make_unique<ChannelPipeline>(std::move(code), std::move(channel),
                                            interleave_depth);
+}
+
+std::unique_ptr<ChannelPipeline> make_burst_pipeline(
+    std::unique_ptr<ChannelCode> code, Modulation mod,
+    const GilbertElliottConfig& burst, std::size_t interleave_depth) {
+  auto channel = std::make_unique<ModulatedChannel>(
+      mod, std::make_unique<GilbertElliottChannel>(burst));
+  return std::make_unique<ChannelPipeline>(std::move(code), std::move(channel),
+                                           interleave_depth);
+}
+
+bool resolve_soft_decision(bool configured) {
+  if (soft_forced_off()) return false;
+  const char* env = std::getenv("SEMCACHE_SOFT");
+  if (env != nullptr) {
+    const std::string v(env);
+    if (v == "on" || v == "1") return true;
+  }
+  return configured;
+}
+
+bool soft_forced_off() {
+  const char* env = std::getenv("SEMCACHE_SOFT");
+  if (env == nullptr) return false;
+  const std::string v(env);
+  return v == "off" || v == "0";
 }
 
 }  // namespace semcache::channel

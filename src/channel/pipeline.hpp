@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "channel/burst.hpp"
 #include "channel/code.hpp"
 #include "channel/interleaver.hpp"
 #include "channel/physical.hpp"
@@ -31,6 +32,14 @@ class ChannelPipeline {
   /// to the payload length.
   BitVec transmit(const BitVec& payload, Rng& rng);
 
+  /// Slot-aware transmit: `slot` is the global message ordinal (the same
+  /// index that keys the caller's RNG fork), forwarded to channels with
+  /// memory (Gilbert–Elliott). When `obs` is non-null and the pipeline is
+  /// in soft-decision mode, it receives the decision-directed channel
+  /// observation of this message.
+  BitVec transmit_at(const BitVec& payload, Rng& rng, std::uint64_t slot,
+                     ChannelObservation* obs = nullptr);
+
   /// Batched transmit: payload i rides the channel with its own RNG stream
   /// `rngs[i]`, so result i is bit-identical to `transmit(payloads[i],
   /// rngs[i])` and the caller's per-message fork discipline is preserved.
@@ -44,6 +53,10 @@ class ChannelPipeline {
   /// stats are committed in ascending index order after the join.
   std::vector<BitVec> transmit_batch(const std::vector<BitVec>& payloads,
                                      std::span<Rng> rngs);
+  /// Slot-aware batch booking into the pipeline's own stats.
+  std::vector<BitVec> transmit_batch(const std::vector<BitVec>& payloads,
+                                     std::span<Rng> rngs,
+                                     std::span<const std::uint64_t> slots);
 
   /// transmit_batch with the accounting redirected into `sink` instead of
   /// the pipeline's own stats, leaving the pipeline const — the form the
@@ -55,6 +68,21 @@ class ChannelPipeline {
   std::vector<BitVec> transmit_batch_collect(
       const std::vector<BitVec>& payloads, std::span<Rng> rngs,
       PipelineStats& sink, common::ThreadPool* pool) const;
+
+  /// Slot-aware batch: `slots[i]` is forwarded as message i's slot (empty
+  /// span = all slot 0, the legacy behavior). Bits stay identical to N
+  /// sequential transmit_at calls under any pool.
+  std::vector<BitVec> transmit_batch_collect(
+      const std::vector<BitVec>& payloads, std::span<Rng> rngs,
+      std::span<const std::uint64_t> slots, PipelineStats& sink,
+      common::ThreadPool* pool) const;
+
+  /// Switch the receive side between hard-decision slicing (default; the
+  /// pre-existing bit-exact path) and soft-decision LLR decoding. Soft
+  /// mode silently falls back to hard for channels without a soft output
+  /// (BSC). Not thread-safe against in-flight batches.
+  void set_soft_decision(bool on) { soft_ = on; }
+  bool soft_decision() const { return soft_; }
 
   /// Attach a worker pool for transmit_batch (non-owning; nullptr detaches
   /// and restores the pure sequential loop). The pool only affects wall
@@ -76,17 +104,19 @@ class ChannelPipeline {
   /// the coded on-air bit count is reported through `airtime_bits` and
   /// folded into stats_ by the caller.
   BitVec transmit_one(const BitVec& payload, Rng& rng,
-                      std::size_t& airtime_bits) const;
+                      std::size_t& airtime_bits, std::uint64_t slot,
+                      ChannelObservation* obs) const;
 
   std::unique_ptr<ChannelCode> code_;
   std::unique_ptr<BitChannel> channel_;
   BlockInterleaver interleaver_;
   PipelineStats stats_;
   common::ThreadPool* pool_ = nullptr;
+  bool soft_ = false;
 };
 
 /// Channel-code factory: "uncoded" | "rep3" | "rep5" | "hamming74" |
-/// "conv_k3_r12".
+/// "conv_k3_r12" | "conv_k3_r23" | "conv_k3_r34".
 std::unique_ptr<ChannelCode> make_code(const std::string& name);
 
 /// Convenience factories for the standard experiment configurations.
@@ -98,5 +128,17 @@ std::unique_ptr<ChannelPipeline> make_bsc_pipeline(
 std::unique_ptr<ChannelPipeline> make_rayleigh_pipeline(
     std::unique_ptr<ChannelCode> code, Modulation mod, double snr_db,
     std::size_t fade_block_len, std::size_t interleave_depth);
+std::unique_ptr<ChannelPipeline> make_burst_pipeline(
+    std::unique_ptr<ChannelCode> code, Modulation mod,
+    const GilbertElliottConfig& burst, std::size_t interleave_depth = 1);
+
+/// Resolve the effective soft-decision flag against SEMCACHE_SOFT:
+/// "off"/"0" forces hard decisions even over an explicit configuration
+/// (the CI floor leg, mirroring SEMCACHE_SIMD=scalar), "on"/"1" forces
+/// soft, anything else (including unset) keeps `configured`.
+bool resolve_soft_decision(bool configured);
+/// True when SEMCACHE_SOFT force-disables soft decisions — soft-asserting
+/// tests skip themselves under the floor leg.
+bool soft_forced_off();
 
 }  // namespace semcache::channel

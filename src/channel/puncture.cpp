@@ -1,0 +1,113 @@
+#include "channel/puncture.hpp"
+
+#include "common/check.hpp"
+
+namespace semcache::channel {
+
+namespace {
+// Keep masks per trellis step (bit 0 = G1 output, bit 1 = G2 output),
+// cycling through the zero tail as well — the classic continuous puncturing
+// discipline (osmocom's punctured GSM tables work the same way).
+const std::vector<std::uint8_t>& pattern_for(PunctureRate rate) {
+  static const std::vector<std::uint8_t> kR23 = {0b11, 0b01};
+  static const std::vector<std::uint8_t> kR34 = {0b11, 0b01, 0b10};
+  return rate == PunctureRate::kR23 ? kR23 : kR34;
+}
+}  // namespace
+
+PuncturedConvolutionalCode::PuncturedConvolutionalCode(PunctureRate rate)
+    : rate_(rate), pattern_(pattern_for(rate)) {}
+
+std::size_t PuncturedConvolutionalCode::steps_for(
+    std::size_t info_bits) const {
+  return info_bits + ConvolutionalCode::kConstraint - 1;
+}
+
+std::size_t PuncturedConvolutionalCode::kept_bits(std::size_t steps) const {
+  std::size_t per_period = 0;
+  for (const std::uint8_t mask : pattern_) {
+    per_period += (mask & 1u) + ((mask >> 1) & 1u);
+  }
+  std::size_t kept = (steps / period()) * per_period;
+  for (std::size_t t = 0; t < steps % period(); ++t) {
+    kept += (pattern_[t] & 1u) + ((pattern_[t] >> 1) & 1u);
+  }
+  return kept;
+}
+
+std::size_t PuncturedConvolutionalCode::encoded_length(
+    std::size_t info_bits) const {
+  return kept_bits(steps_for(info_bits));
+}
+
+double PuncturedConvolutionalCode::rate() const {
+  return rate_ == PunctureRate::kR23 ? 2.0 / 3.0 : 3.0 / 4.0;
+}
+
+std::string PuncturedConvolutionalCode::name() const {
+  return rate_ == PunctureRate::kR23 ? "conv_k3_r23" : "conv_k3_r34";
+}
+
+BitVec PuncturedConvolutionalCode::encode(const BitVec& info) const {
+  const BitVec mother = mother_.encode(info);
+  const std::size_t steps = mother.size() / 2;
+  BitVec out;
+  out.reserve(kept_bits(steps));
+  for (std::size_t t = 0; t < steps; ++t) {
+    const std::uint8_t mask = pattern_[t % period()];
+    if ((mask & 1u) != 0) out.push_back(mother[2 * t]);
+    if ((mask & 2u) != 0) out.push_back(mother[2 * t + 1]);
+  }
+  return out;
+}
+
+BitVec PuncturedConvolutionalCode::decode(const BitVec& coded) const {
+  // Depuncture into (hard bit, weight) pairs: present positions vote with
+  // weight 1, deleted positions are weight-0 erasures the trellis skips.
+  std::size_t steps = 0;
+  while (kept_bits(steps) < coded.size()) ++steps;
+  SEMCACHE_CHECK(kept_bits(steps) == coded.size(),
+                 "puncture: coded length does not align with the pattern");
+  SEMCACHE_CHECK(steps >= ConvolutionalCode::kConstraint - 1,
+                 "puncture: coded stream shorter than the termination tail");
+  BitVec hard(2 * steps, 0);
+  std::vector<std::uint8_t> weights(2 * steps, 0);
+  std::size_t pos = 0;
+  for (std::size_t t = 0; t < steps; ++t) {
+    const std::uint8_t mask = pattern_[t % period()];
+    if ((mask & 1u) != 0) {
+      hard[2 * t] = coded[pos++] & 1;
+      weights[2 * t] = 1;
+    }
+    if ((mask & 2u) != 0) {
+      hard[2 * t + 1] = coded[pos++] & 1;
+      weights[2 * t + 1] = 1;
+    }
+  }
+  return ConvolutionalCode::decode_weighted(hard, weights);
+}
+
+BitVec PuncturedConvolutionalCode::decode_soft(
+    const std::vector<float>& llrs) const {
+  std::size_t steps = 0;
+  while (kept_bits(steps) < llrs.size()) ++steps;
+  SEMCACHE_CHECK(kept_bits(steps) == llrs.size(),
+                 "puncture: LLR length does not align with the pattern");
+  SEMCACHE_CHECK(steps >= ConvolutionalCode::kConstraint - 1,
+                 "puncture: LLR stream shorter than the termination tail");
+  BitVec hard(2 * steps, 0);
+  std::vector<std::uint8_t> weights(2 * steps, 0);
+  std::size_t pos = 0;
+  for (std::size_t t = 0; t < steps; ++t) {
+    const std::uint8_t mask = pattern_[t % period()];
+    for (int c = 0; c < 2; ++c) {
+      if ((mask & (1u << c)) == 0) continue;
+      const float llr = llrs[pos++];
+      hard[2 * t + c] = llr >= 0.0f ? 1 : 0;
+      weights[2 * t + c] = ConvolutionalCode::llr_weight(llr);
+    }
+  }
+  return ConvolutionalCode::decode_weighted(hard, weights);
+}
+
+}  // namespace semcache::channel

@@ -1,0 +1,55 @@
+// Punctured rate matching over the K=3 (7,5) convolutional mother code, in
+// the osmocom style: a fixed periodic puncture matrix deletes mother-code
+// bits on the transmit side, and the receiver re-inserts them as erasures
+// (weight 0 / LLR 0) before the weighted Viterbi trellis. Raising the rate
+// costs coding gain but buys airtime — exactly the trade the per-link
+// adaptive controller (adaptive.hpp) plays against measured SNR.
+#pragma once
+
+#include <vector>
+
+#include "channel/code.hpp"
+#include "channel/convolutional.hpp"
+
+namespace semcache::channel {
+
+/// Supported punctured rates of the rate-1/2 mother code.
+enum class PunctureRate {
+  kR23,  ///< period-2 matrix [1 1; 1 0]: keep 3 of every 4 mother bits
+  kR34,  ///< period-3 matrix [1 1; 1 0; 0 1]: keep 4 of every 6
+};
+
+class PuncturedConvolutionalCode final : public ChannelCode {
+ public:
+  explicit PuncturedConvolutionalCode(PunctureRate rate);
+
+  BitVec encode(const BitVec& info) const override;
+  /// Hard-decision decode: depunctures the received bits with weight-0
+  /// erasures at the deleted positions and runs the weighted Viterbi
+  /// trellis (present bits carry weight 1, so away from erasures the
+  /// metric is the plain Hamming one).
+  BitVec decode(const BitVec& coded) const override;
+  /// Soft decode: deleted positions re-enter as LLR 0 (no information),
+  /// present positions carry their quantized confidence.
+  BitVec decode_soft(const std::vector<float>& llrs) const override;
+  std::size_t encoded_length(std::size_t info_bits) const override;
+  double rate() const override;
+  std::string name() const override;
+
+  /// The puncture pattern: pattern()[t % period()] is a 2-bit keep mask for
+  /// trellis step t — bit 0 keeps the G1 output, bit 1 keeps the G2 output.
+  const std::vector<std::uint8_t>& pattern() const { return pattern_; }
+  std::size_t period() const { return pattern_.size(); }
+
+ private:
+  /// Number of trellis steps for `info_bits` information bits (zero tail
+  /// included) and the punctured bit count over those steps.
+  std::size_t steps_for(std::size_t info_bits) const;
+  std::size_t kept_bits(std::size_t steps) const;
+
+  PunctureRate rate_;
+  ConvolutionalCode mother_;
+  std::vector<std::uint8_t> pattern_;
+};
+
+}  // namespace semcache::channel

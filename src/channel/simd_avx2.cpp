@@ -15,6 +15,7 @@
 
 #include <immintrin.h>
 
+#include <cmath>
 #include <cstring>
 
 namespace semcache::channel::detail {
@@ -94,6 +95,76 @@ void demod_qam16_avx2(const double* sym, std::size_t nsym, double scale,
   }
 }
 
+// Soft demaps — per-bit max-log LLRs as floats. Every step is IEEE-exact
+// and mirrored by the scalar reference in modulation.cpp expression for
+// expression (the double->float rounding of _mm256_cvtpd_ps is the same
+// static_cast<float> the scalar path performs), so the tiers twin exactly.
+
+void demod_soft_bpsk_avx2(const double* sym, std::size_t nsym, float* llrs) {
+  std::size_t i = 0;
+  for (; i + 2 <= nsym; i += 2) {
+    const __m128 f = _mm256_cvtpd_ps(_mm256_loadu_pd(sym + 2 * i));
+    // Lanes are [re0, im0, re1, im1]; BPSK keeps the real lanes.
+    const __m128 re = _mm_shuffle_ps(f, f, _MM_SHUFFLE(3, 1, 2, 0));
+    _mm_storel_pi(reinterpret_cast<__m64*>(llrs + i), re);
+  }
+  for (; i < nsym; ++i) llrs[i] = static_cast<float>(sym[2 * i]);
+}
+
+void demod_soft_qpsk_avx2(const double* sym, std::size_t nsym, float* llrs) {
+  std::size_t i = 0;
+  // QPSK LLR order per symbol is (re, im) — exactly the lane order.
+  for (; i + 2 <= nsym; i += 2) {
+    _mm_storeu_ps(llrs + 2 * i,
+                  _mm256_cvtpd_ps(_mm256_loadu_pd(sym + 2 * i)));
+  }
+  for (; i < nsym; ++i) {
+    llrs[2 * i] = static_cast<float>(sym[2 * i]);
+    llrs[2 * i + 1] = static_cast<float>(sym[2 * i + 1]);
+  }
+}
+
+// Per-PAM-coordinate piecewise max-log LLRs: l0 = v inside |v| <= 2 and
+// 2(v -+ 1) outside, l1 = 2 - |v|. mul(2, sub(v, 1)) and sub(2, abs(v))
+// match the scalar expression shapes; there is no a*b+c pattern, so
+// contraction cannot split the tiers.
+void demod_soft_qam16_avx2(const double* sym, std::size_t nsym, double scale,
+                           float* llrs) {
+  const __m256d two = _mm256_set1_pd(2.0);
+  const __m256d ntwo = _mm256_set1_pd(-2.0);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d sc = _mm256_set1_pd(scale);
+  const __m256d absmask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7FFFFFFFFFFFFFFFLL));
+  std::size_t i = 0;
+  for (; i + 2 <= nsym; i += 2) {
+    const __m256d v = _mm256_div_pd(_mm256_loadu_pd(sym + 2 * i), sc);
+    const __m256d gt2 = _mm256_cmp_pd(v, two, _CMP_GT_OQ);
+    const __m256d ltm2 = _mm256_cmp_pd(v, ntwo, _CMP_LT_OQ);
+    const __m256d hi = _mm256_mul_pd(two, _mm256_sub_pd(v, one));
+    const __m256d lo = _mm256_mul_pd(two, _mm256_add_pd(v, one));
+    __m256d l0 = _mm256_blendv_pd(v, hi, gt2);
+    l0 = _mm256_blendv_pd(l0, lo, ltm2);
+    const __m256d l1 = _mm256_sub_pd(two, _mm256_and_pd(v, absmask));
+    const __m128 f0 = _mm256_cvtpd_ps(l0);
+    const __m128 f1 = _mm256_cvtpd_ps(l1);
+    // Interleave (l0, l1) per coordinate: output order is
+    // l0(re), l1(re), l0(im), l1(im) for each of the two symbols.
+    _mm_storeu_ps(llrs + 4 * i, _mm_unpacklo_ps(f0, f1));
+    _mm_storeu_ps(llrs + 4 * i + 4, _mm_unpackhi_ps(f0, f1));
+  }
+  for (; i < nsym; ++i) {
+    for (int c = 0; c < 2; ++c) {
+      const double v = sym[2 * i + c] / scale;
+      double a = v;
+      if (v > 2.0) a = 2.0 * (v - 1.0);
+      if (v < -2.0) a = 2.0 * (v + 1.0);
+      llrs[4 * i + 2 * c] = static_cast<float>(a);
+      llrs[4 * i + 2 * c + 1] = static_cast<float>(2.0 - std::fabs(v));
+    }
+  }
+}
+
 void add_noise_avx2(double* data, const double* noise, std::size_t n) {
   std::size_t i = 0;
   for (; i + 4 <= n; i += 4) {
@@ -125,6 +196,52 @@ void viterbi_acs_avx2(const ViterbiTables& tb, const std::uint8_t* rx,
     const __m128i ca = _mm_min_epu32(_mm_add_epi32(ma, bma[r]), inf);
     const __m128i cb = _mm_min_epu32(_mm_add_epi32(mb, bmb[r]), inf);
     const __m128i bwins = _mm_cmpgt_epi32(ca, cb);  // cb strictly smaller
+    m = _mm_blendv_epi8(ca, cb, bwins);
+    const int mask = _mm_movemask_ps(_mm_castsi128_ps(bwins));
+    std::uint8_t* sv = survivor + 4 * t;
+    sv[0] = (mask & 1) != 0 ? tb.surv_b[0] : tb.surv_a[0];
+    sv[1] = (mask & 2) != 0 ? tb.surv_b[1] : tb.surv_a[1];
+    sv[2] = (mask & 4) != 0 ? tb.surv_b[2] : tb.surv_a[2];
+    sv[3] = (mask & 8) != 0 ? tb.surv_b[3] : tb.surv_a[3];
+  }
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(metric), m);
+}
+
+// Weighted ACS: branch metrics rebuilt per step from the expected-output
+// tables — cost = w0 where the G1 bit mismatches plus w1 where the G2 bit
+// mismatches, via cmpeq/andnot masking (pure integer, bit-identical to the
+// scalar form). Survivor selection is the hard kernel's strict-B-wins rule.
+void viterbi_acs_soft_avx2(const ViterbiTables& tb, const std::uint8_t* rx,
+                           const std::uint8_t* weights,
+                           std::size_t info_steps, std::uint32_t* metric,
+                           std::uint8_t* survivor) {
+  const __m128i inf = _mm_set1_epi32(static_cast<int>(kViterbiInf));
+  const __m128i e0a =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(tb.exp0_a));
+  const __m128i e1a =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(tb.exp1_a));
+  const __m128i e0b =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(tb.exp0_b));
+  const __m128i e1b =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(tb.exp1_b));
+  __m128i m = _mm_loadu_si128(reinterpret_cast<const __m128i*>(metric));
+  for (std::size_t t = 0; t < info_steps; ++t) {
+    const __m128i r0 = _mm_set1_epi32(rx[t] & 1);
+    const __m128i r1 = _mm_set1_epi32((rx[t] >> 1) & 1);
+    const __m128i w0 = _mm_set1_epi32(weights[2 * t]);
+    const __m128i w1 = _mm_set1_epi32(weights[2 * t + 1]);
+    // andnot(cmpeq(exp, r), w) = w where the bits differ, 0 where equal.
+    const __m128i bma =
+        _mm_add_epi32(_mm_andnot_si128(_mm_cmpeq_epi32(e0a, r0), w0),
+                      _mm_andnot_si128(_mm_cmpeq_epi32(e1a, r1), w1));
+    const __m128i bmb =
+        _mm_add_epi32(_mm_andnot_si128(_mm_cmpeq_epi32(e0b, r0), w0),
+                      _mm_andnot_si128(_mm_cmpeq_epi32(e1b, r1), w1));
+    const __m128i ma = _mm_shuffle_epi32(m, _MM_SHUFFLE(2, 0, 2, 0));
+    const __m128i mb = _mm_shuffle_epi32(m, _MM_SHUFFLE(3, 1, 3, 1));
+    const __m128i ca = _mm_min_epu32(_mm_add_epi32(ma, bma), inf);
+    const __m128i cb = _mm_min_epu32(_mm_add_epi32(mb, bmb), inf);
+    const __m128i bwins = _mm_cmpgt_epi32(ca, cb);
     m = _mm_blendv_epi8(ca, cb, bwins);
     const int mask = _mm_movemask_ps(_mm_castsi128_ps(bwins));
     std::uint8_t* sv = survivor + 4 * t;
@@ -173,8 +290,12 @@ constexpr Avx2ChannelKernels kKernels = {
     /*demod_bpsk=*/demod_bpsk_avx2,
     /*demod_qpsk=*/demod_qpsk_avx2,
     /*demod_qam16=*/demod_qam16_avx2,
+    /*demod_soft_bpsk=*/demod_soft_bpsk_avx2,
+    /*demod_soft_qpsk=*/demod_soft_qpsk_avx2,
+    /*demod_soft_qam16=*/demod_soft_qam16_avx2,
     /*add_noise=*/add_noise_avx2,
     /*viterbi_acs=*/viterbi_acs_avx2,
+    /*viterbi_acs_soft=*/viterbi_acs_soft_avx2,
     /*repetition_vote3=*/repetition_vote3_avx2,
 };
 

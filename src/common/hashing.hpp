@@ -33,4 +33,38 @@ constexpr std::size_t shard_of(std::string_view user,
   return num_shards <= 1 ? 0 : stable_hash(user) % num_shards;
 }
 
+/// splitmix64 step as a pure constexpr function — bit-identical to
+/// semcache::splitmix64 (rng.hpp), duplicated here so identity-keyed
+/// hashing stays header-only and usable in constant expressions.
+constexpr std::uint64_t splitmix64_step(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// splitmix64 chain over (seed, kind tag, identity words) — the identity-
+/// hash discipline shared by the fault plane and the burst channel: every
+/// stochastic decision is a PURE function of a seed and the identity of the
+/// thing deciding (never a global RNG ordinal), which is what keeps
+/// parallel and sharded runs byte-identical while the decisions fire.
+constexpr std::uint64_t identity_mix(std::uint64_t seed, std::uint64_t kind,
+                                     std::uint64_t a, std::uint64_t b,
+                                     std::uint64_t c) {
+  std::uint64_t state = seed ^ kind;
+  (void)splitmix64_step(state);
+  state ^= a;
+  (void)splitmix64_step(state);
+  state ^= b;
+  (void)splitmix64_step(state);
+  state ^= c;
+  return splitmix64_step(state);
+}
+
+/// Top 53 bits -> [0, 1): p = 1 always fires, p = 0 never does.
+constexpr double to_unit_interval(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
 }  // namespace semcache::common

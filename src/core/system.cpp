@@ -31,9 +31,21 @@ std::unique_ptr<SemanticEdgeSystem> SemanticEdgeSystem::build(
       std::make_unique<fl::ModelSynchronizer>(sys->config_.sync_compression);
 
   const ChannelConfig& ch = sys->config_.channel;
-  sys->pipeline_ = channel::make_awgn_pipeline(
-      channel::make_code(ch.code), ch.modulation, ch.snr_db,
-      ch.interleave_depth);
+  if (ch.medium == "gilbert_elliott") {
+    channel::GilbertElliottConfig burst = ch.burst;
+    if (burst.seed == 0) burst.seed = sys->config_.seed;
+    sys->pipeline_ = channel::make_burst_pipeline(
+        channel::make_code(ch.code), ch.modulation, burst,
+        ch.interleave_depth);
+  } else {
+    SEMCACHE_CHECK(ch.medium == "awgn",
+                   "channel: unknown medium \"" + ch.medium + "\"");
+    sys->pipeline_ = channel::make_awgn_pipeline(
+        channel::make_code(ch.code), ch.modulation, ch.snr_db,
+        ch.interleave_depth);
+  }
+  sys->pipeline_->set_soft_decision(
+      channel::resolve_soft_decision(ch.soft_decision));
 
   // Data-plane worker pool (README "Threading model"): resolved once at
   // build — an explicit num_threads wins, SEMCACHE_THREADS fills in for

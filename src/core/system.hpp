@@ -37,6 +37,16 @@ struct ChannelConfig {
   channel::Modulation modulation = channel::Modulation::kQpsk;
   double snr_db = 10.0;
   std::size_t interleave_depth = 8;
+  /// Physical medium: "awgn" (memoryless, the pre-existing default) or
+  /// "gilbert_elliott" (two-state burst noise driven by `burst`; the
+  /// channel sees each message's global slot index, so burst weather is
+  /// byte-identical across thread and shard counts).
+  std::string medium = "awgn";
+  channel::GilbertElliottConfig burst;
+  /// Soft-decision (LLR) receive path. Resolved against SEMCACHE_SOFT at
+  /// build ("off" forces hard, "on" forces soft). The hard default is
+  /// bit-identical to earlier builds.
+  bool soft_decision = false;
 };
 
 struct SystemConfig {

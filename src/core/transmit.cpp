@@ -415,18 +415,25 @@ void SemanticEdgeSystem::process_domain_group(
     std::vector<BitVec> received;
     if (cross_edge) {
       std::vector<Rng> rngs;
+      std::vector<std::uint64_t> slots;
       rngs.reserve(chunk);
+      slots.reserve(chunk);
+      // The slot is the same global message ordinal that keys the RNG
+      // fork — channels with memory (Gilbert–Elliott) key their burst
+      // weather on it, so waves stay byte-identical across threads/shards.
       for (std::size_t j = 0; j < chunk; ++j) {
-        rngs.push_back(rng_.fork(
-            channel_fork_tag(base_message_index + indices[pos + j])));
+        const std::uint64_t ordinal = base_message_index + indices[pos + j];
+        rngs.push_back(rng_.fork(channel_fork_tag(ordinal)));
+        slots.push_back(ordinal);
       }
       // Deferred mode collects the channel accounting into the pair-local
       // sink (the pipeline is shared across concurrently-served pairs);
       // direct mode books into the pipeline's own stats as always.
       received = ctx.channel_stats != nullptr
-                     ? pipeline_->transmit_batch_collect(
-                           payloads, rngs, *ctx.channel_stats, ctx.row_pool)
-                     : pipeline_->transmit_batch(payloads, rngs);
+                     ? pipeline_->transmit_batch_collect(payloads, rngs, slots,
+                                                         *ctx.channel_stats,
+                                                         ctx.row_pool)
+                     : pipeline_->transmit_batch(payloads, rngs, slots);
     } else {
       received = payloads;
     }
@@ -897,7 +904,8 @@ void SemanticEdgeSystem::serve_degraded(
     if (cross_edge) {
       std::vector<Rng> rngs;
       rngs.push_back(rng_.fork(channel_fork_tag(base + i)));
-      received = pipeline_->transmit_batch(payloads, rngs);
+      const std::uint64_t slot[] = {base + i};
+      received = pipeline_->transmit_batch(payloads, rngs, slot);
     } else {
       received = payloads;
     }

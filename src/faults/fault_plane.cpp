@@ -21,23 +21,11 @@ void check_probability(double p, const char* name) {
                  std::string("FaultConfig: ") + name + " must be in [0, 1]");
 }
 
-/// splitmix64 chain over the identity words; the final draw is the output.
-std::uint64_t mix(std::uint64_t seed, std::uint64_t kind, std::uint64_t a,
-                  std::uint64_t b, std::uint64_t c) {
-  std::uint64_t state = seed ^ kind;
-  (void)splitmix64(state);
-  state ^= a;
-  (void)splitmix64(state);
-  state ^= b;
-  (void)splitmix64(state);
-  state ^= c;
-  return splitmix64(state);
-}
-
-double to_unit(std::uint64_t h) {
-  // Top 53 bits -> [0, 1): p = 1 always fires, p = 0 never does.
-  return static_cast<double>(h >> 11) * 0x1.0p-53;
-}
+// The splitmix64 chain + unit-interval mapping live in common/hashing.hpp
+// (identity_mix / to_unit_interval) so the burst channel draws its coins by
+// the same discipline; these aliases keep the call sites short.
+constexpr auto mix = common::identity_mix;
+constexpr auto to_unit = common::to_unit_interval;
 }  // namespace
 
 FaultPlane::FaultPlane(FaultConfig config) : config_(config) {

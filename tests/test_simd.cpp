@@ -19,6 +19,7 @@
 #include "channel/convolutional.hpp"
 #include "channel/modulation.hpp"
 #include "channel/physical.hpp"
+#include "channel/puncture.hpp"
 #include "channel/repetition.hpp"
 #include "channel/simd.hpp"
 #include "common/cpu.hpp"
@@ -616,6 +617,71 @@ TEST(SimdChannel, ViterbiDecodeTierTwin) {
     // The SSE ACS must make the identical survivor choice at every step,
     // so even uncorrected decodes twin exactly.
     EXPECT_EQ(scalar_out, simd_out) << "info_len " << info_len;
+  }
+}
+
+TEST(SimdChannel, SoftDemapTierTwinBitwise) {
+  // The soft demaps are float producers, so the twin is checked on BIT
+  // PATTERNS, not values: NaN payloads, signed zeros, and every rounding
+  // decision must match between the scalar loop and the AVX2 kernel
+  // (every op in both is individually IEEE-exact; no FMA contraction).
+  Rng rng(60601);
+  for (const std::size_t count : {0u, 1u, 2u, 3u, 5u, 7u, 64u, 257u}) {
+    const std::vector<Symbol> sym = adversarial_symbols(count, rng);
+    for (const Modulation m :
+         {Modulation::kBpsk, Modulation::kQpsk, Modulation::kQam16}) {
+      std::vector<float> scalar_llrs, simd_llrs;
+      {
+        TierGuard guard(common::SimdTier::kScalar);
+        channel::demap_soft_into(scalar_llrs, sym.data(), count, m);
+      }
+      {
+        TierGuard guard(common::SimdTier::kAvx2);
+        channel::demap_soft_into(simd_llrs, sym.data(), count, m);
+      }
+      ASSERT_EQ(scalar_llrs.size(), simd_llrs.size());
+      ASSERT_EQ(scalar_llrs.size(), count * channel::bits_per_symbol(m));
+      EXPECT_EQ(0, std::memcmp(scalar_llrs.data(), simd_llrs.data(),
+                               scalar_llrs.size() * sizeof(float)))
+          << channel::modulation_name(m) << " count " << count;
+    }
+  }
+}
+
+TEST(SimdChannel, SoftViterbiDecodeTierTwin) {
+  // Weighted ACS twin: LLRs from genuinely noisy symbols (non-uniform
+  // quantized weights), through the plain and both punctured codes —
+  // every survivor choice, including weight-tie-breaks, must match.
+  channel::ConvolutionalCode conv;
+  channel::PuncturedConvolutionalCode r23(channel::PunctureRate::kR23);
+  channel::PuncturedConvolutionalCode r34(channel::PunctureRate::kR34);
+  Rng rng(71717);
+  for (const std::size_t info_len : {1u, 2u, 5u, 64u, 1000u}) {
+    const BitVec info = test::random_bits(info_len, rng);
+    for (const channel::ChannelCode* code :
+         {static_cast<const channel::ChannelCode*>(&conv),
+          static_cast<const channel::ChannelCode*>(&r23),
+          static_cast<const channel::ChannelCode*>(&r34)}) {
+      const BitVec coded = code->encode(info);
+      std::vector<float> llrs(coded.size());
+      for (std::size_t i = 0; i < coded.size(); ++i) {
+        // Signed confidence around the hard decision, noisy enough to
+        // cross zero sometimes (wrong-sign LLRs force real ACS work).
+        llrs[i] = static_cast<float>((coded[i] != 0 ? 1.0 : -1.0) +
+                                     rng.gaussian(0.0, 0.9));
+      }
+      BitVec scalar_out, simd_out;
+      {
+        TierGuard guard(common::SimdTier::kScalar);
+        scalar_out = code->decode_soft(llrs);
+      }
+      {
+        TierGuard guard(common::SimdTier::kAvx2);
+        simd_out = code->decode_soft(llrs);
+      }
+      EXPECT_EQ(scalar_out, simd_out)
+          << code->name() << " info_len " << info_len;
+    }
   }
 }
 

@@ -10,6 +10,9 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
 #include <span>
 
 #include "common/bits.hpp"
@@ -18,6 +21,27 @@
 #include "tensor/tensor.hpp"
 
 namespace semcache::test {
+
+/// Offset added to the fuzz-style suites' seeds (test_sim_wheel,
+/// test_faults storms). Unset or empty keeps the historical fixed seeds;
+/// the nightly CI job sets SEMCACHE_FUZZ_SEED_BASE to the UTC date so
+/// every night explores a fresh seed neighborhood. The first call echoes
+/// the resolved base into the log so a red nightly is reproducible.
+inline std::uint64_t fuzz_seed_base() {
+  static const std::uint64_t base = [] {
+    const char* env = std::getenv("SEMCACHE_FUZZ_SEED_BASE");
+    std::uint64_t v = 0;
+    if (env != nullptr) {
+      for (const char* p = env; *p >= '0' && *p <= '9'; ++p) {
+        v = v * 10 + static_cast<std::uint64_t>(*p - '0');
+      }
+    }
+    std::cout << "[ fuzz   ] SEMCACHE_FUZZ_SEED_BASE=" << v
+              << (env == nullptr ? " (unset)" : "") << std::endl;
+    return v;
+  }();
+  return base;
+}
 
 /// Fair-coin random bit vector; the standard payload generator for the
 /// channel-stack suites.
